@@ -1,0 +1,69 @@
+//! Scaled-down figure regenerations under Criterion, so `cargo bench`
+//! exercises the full experiment pipeline for every figure and reports the
+//! wall-time cost of regenerating each.
+//!
+//! The real per-figure series (at paper-scale run counts) come from the
+//! `fig3`…`fig11` binaries; these benches use small run counts to stay
+//! fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use escape_cluster::experiments::loss::run_loss_sweep;
+use escape_cluster::experiments::phases::run_phases_sweep;
+use escape_cluster::experiments::randomness::run_randomness_sweep;
+use escape_cluster::experiments::scale::run_scale_sweep;
+
+fn fig3_fig4_randomness(c: &mut Criterion) {
+    c.bench_function("fig3_fig4_randomness_sweep_5runs", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_randomness_sweep(
+                &[(1500, 1800), (1500, 3000), (1500, 6000)],
+                5,
+                7,
+            ))
+        });
+    });
+}
+
+fn fig9_scale(c: &mut Criterion) {
+    c.bench_function("fig9_scale_sweep_s8_s32_5runs", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_scale_sweep(&["raft", "escape"], &[8, 32], 5, 7))
+        });
+    });
+}
+
+fn fig10_phases(c: &mut Criterion) {
+    c.bench_function("fig10_phases_sweep_s8_3runs", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_phases_sweep(
+                &["raft", "escape"],
+                &[8],
+                &[0, 1, 2, 3],
+                3,
+                7,
+            ))
+        });
+    });
+}
+
+fn fig11_loss(c: &mut Criterion) {
+    c.bench_function("fig11_loss_sweep_s10_5runs", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_loss_sweep(
+                &["raft", "zraft", "escape"],
+                &[10],
+                &[0, 20, 40],
+                5,
+                7,
+            ))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig3_fig4_randomness, fig9_scale, fig10_phases, fig11_loss
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Figure 10: election time under zero/one/two/three phases with competing
+//! candidates (C.C.) at five scales (§VI-C).
+//!
+//! Each row reports the detection and election periods separately, as the
+//! paper's stacked bars do. Raft pays ≈ one election timeout per forced
+//! phase (the "provisional livelock"); ESCAPE resolves everything in a
+//! single campaign.
+//!
+//! ```text
+//! cargo run --release -p escape-bench --bin fig10 -- --runs 100 --csv fig10.csv
+//! ```
+
+use escape_bench::{ms, pct, reduction, BenchArgs, Table};
+use escape_cluster::experiments::phases::{run_phases_sweep, PAPER_CLASSES};
+use escape_cluster::experiments::scale::PAPER_SCALES;
+
+fn main() {
+    let args = BenchArgs::parse(50);
+    eprintln!(
+        "fig10: forced competing-candidate phases {:?} at scales {:?}, {} runs per point",
+        PAPER_CLASSES, PAPER_SCALES, args.runs
+    );
+
+    let points = run_phases_sweep(
+        &["raft", "escape"],
+        &PAPER_SCALES,
+        &PAPER_CLASSES,
+        args.runs,
+        args.seed,
+    );
+
+    let mut table = Table::new(vec![
+        "protocol",
+        "scale",
+        "cc_phases",
+        "detection_ms",
+        "election_ms",
+        "total_ms",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.protocol.to_string(),
+            p.scale.to_string(),
+            p.class.to_string(),
+            ms(p.detection.mean()),
+            ms(p.election.mean()),
+            ms(p.total.mean()),
+        ]);
+    }
+    table.emit(&args.csv);
+
+    // §VI-C checkable claims: the three-phase comparison at s=8 and s=128.
+    for &scale in &[8usize, 128] {
+        let total = |proto: &str, class: u32| {
+            points
+                .iter()
+                .find(|p| p.protocol == proto && p.scale == scale && p.class == class)
+                .map(|p| p.total.mean())
+                .expect("grid covered")
+        };
+        println!(
+            "s={scale}: raft 3-phase total {} ms (paper: ~{} ms); escape stays {} ms",
+            ms(total("raft", 3)),
+            if scale == 8 { "6535" } else { "7473" },
+            ms(total("escape", 3)),
+        );
+        for class in [1u32, 2, 3] {
+            println!(
+                "  s={scale} {class}-phase reduction escape vs raft: {} (paper at 128: 44.9/64.2/74.3%)",
+                pct(reduction(total("raft", class), total("escape", class))),
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 11: leader election under message loss (§VI-D).
+//!
+//! Clusters of 10, 50 and 100 servers; loss rates Δ ∈ {0, 10, 20, 30,
+//! 40} % applied as per-broadcast receiver omission; protocols Raft,
+//! Z-Raft and ESCAPE; a client workload runs before each crash so logs
+//! diverge under loss.
+//!
+//! ```text
+//! cargo run --release -p escape-bench --bin fig11 -- --runs 200 --csv fig11.csv
+//! ```
+
+use escape_bench::{ms, pct, reduction, BenchArgs, Table};
+use escape_cluster::experiments::loss::{run_loss_sweep, PAPER_DELTAS, PAPER_SCALES};
+
+fn main() {
+    let args = BenchArgs::parse(100);
+    eprintln!(
+        "fig11: Raft/Z-Raft/ESCAPE under loss {:?}% at scales {:?}, {} runs per point (paper: 1000)",
+        PAPER_DELTAS, PAPER_SCALES, args.runs
+    );
+
+    let points = run_loss_sweep(
+        &["raft", "zraft", "escape"],
+        &PAPER_SCALES,
+        &PAPER_DELTAS,
+        args.runs,
+        args.seed,
+    );
+
+    let mut table = Table::new(vec![
+        "protocol",
+        "scale",
+        "delta_pct",
+        "mean_total_ms",
+        "p95_total_ms",
+        "mean_campaigns",
+        "timed_out",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.protocol.to_string(),
+            p.scale.to_string(),
+            p.delta_pct.to_string(),
+            ms(p.total.mean()),
+            ms(p.total.quantile(0.95)),
+            format!("{:.2}", p.mean_campaigns),
+            p.timed_out.to_string(),
+        ]);
+    }
+    table.emit(&args.csv);
+
+    // §VI-D checkable claims.
+    let mean = |proto: &str, scale: usize, delta: u32| {
+        points
+            .iter()
+            .find(|p| p.protocol == proto && p.scale == scale && p.delta_pct == delta)
+            .map(|p| p.total.mean())
+            .expect("grid covered")
+    };
+    for (scale, delta, who, paper) in [
+        (10usize, 10u32, "zraft", "9.8%"),
+        (10, 40, "zraft", "14.3%"),
+        (10, 10, "escape", "9.6%"),
+        (10, 40, "escape", "19%"),
+        (100, 10, "escape", "21.4%"),
+        (100, 40, "escape", "49.3%"),
+    ] {
+        println!(
+            "s={scale} Δ={delta}%: {who} reduces election time vs raft by {} (paper: {paper})",
+            pct(reduction(mean("raft", scale, delta), mean(who, scale, delta))),
+        );
+    }
+}

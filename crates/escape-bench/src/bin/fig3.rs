@@ -1,0 +1,62 @@
+//! Figure 3: CDF of Raft leader-election time in a 5-server cluster under
+//! varying amounts of election-timeout randomness (§III).
+//!
+//! Paper setup: ranges 1500–{1800,2000,3000,4000,5000,6000} ms, network
+//! latency uniform 100–200 ms, 1000 runs per range.
+//!
+//! ```text
+//! cargo run --release -p escape-bench --bin fig3 -- --runs 1000 --csv fig3.csv
+//! ```
+
+use escape_bench::{BenchArgs, Table};
+use escape_cluster::experiments::randomness::{run_randomness_sweep, PAPER_RANGES_MS};
+use escape_cluster::stats::Cdf;
+use escape_core::time::Duration;
+
+fn main() {
+    let args = BenchArgs::parse(200);
+    eprintln!(
+        "fig3: Raft election-time CDF, 5 servers, {} runs per range (paper: 1000)",
+        args.runs
+    );
+
+    let points = run_randomness_sweep(&PAPER_RANGES_MS, args.runs, args.seed);
+
+    // One CDF column per range, sampled on the paper's x-axis (1500–6000 ms).
+    let mut table = Table::new(
+        std::iter::once("time_ms".to_string())
+            .chain(
+                points
+                    .iter()
+                    .map(|p| format!("cdf_{}-{}", p.range_ms.0, p.range_ms.1)),
+            )
+            .collect::<Vec<_>>(),
+    );
+    let lo = Duration::from_millis(1500);
+    let hi = Duration::from_millis(7000);
+    let steps = 45;
+    let cdfs: Vec<Cdf> = points
+        .iter()
+        .map(|p| Cdf::on_grid(&p.total, lo, hi, steps))
+        .collect();
+    for i in 0..steps {
+        let x = cdfs[0].points()[i].0;
+        let mut row = vec![format!("{:.0}", x.as_millis_f64())];
+        for cdf in &cdfs {
+            row.push(format!("{:.3}", cdf.points()[i].1));
+        }
+        table.row(row);
+    }
+    table.emit(&args.csv);
+
+    // The §III claims, as checkable numbers.
+    for p in &points {
+        println!(
+            "range {}-{} ms: {:.1}% of campaigns not converged by 3500 ms, split-vote rate {:.1}%",
+            p.range_ms.0,
+            p.range_ms.1,
+            (1.0 - p.total.fraction_within(Duration::from_millis(3500))) * 100.0,
+            p.split_vote_rate * 100.0,
+        );
+    }
+}

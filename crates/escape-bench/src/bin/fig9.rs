@@ -1,0 +1,103 @@
+//! Figure 9: leader-election time of ESCAPE vs Raft at increasing scales
+//! (§VI-B) — the paper's headline experiment.
+//!
+//! Three panels: the ESCAPE CDF, the Raft CDF (both per scale), and the
+//! average election time vs cluster size. Paper setup: s ∈ {8, 16, 32, 64,
+//! 128}, Raft timeouts 1500–3000 ms, ESCAPE `baseTime` 1500 ms / `k`
+//! 500 ms, 1000 runs per point.
+//!
+//! ```text
+//! cargo run --release -p escape-bench --bin fig9 -- --runs 1000 --csv fig9.csv
+//! ```
+
+use escape_bench::{ms, pct, reduction, BenchArgs, Table};
+use escape_cluster::experiments::scale::{run_scale_sweep, PAPER_SCALES};
+use escape_cluster::stats::Cdf;
+use escape_core::time::Duration;
+
+fn main() {
+    let args = BenchArgs::parse(200);
+    eprintln!(
+        "fig9: ESCAPE vs Raft at scales {:?}, {} runs per point (paper: 1000)",
+        PAPER_SCALES, args.runs
+    );
+
+    let points = run_scale_sweep(&["escape", "raft"], &PAPER_SCALES, args.runs, args.seed);
+
+    // Panels 1+2: CDFs per protocol and scale.
+    println!("== CDF of leader-election time (cumulative fraction) ==");
+    let steps = 40;
+    let mut cdf_table = Table::new(
+        std::iter::once("time_ms".to_string())
+            .chain(
+                points
+                    .iter()
+                    .map(|p| format!("{}_s{}", p.protocol, p.scale)),
+            )
+            .collect::<Vec<_>>(),
+    );
+    let lo = Duration::from_millis(1500);
+    let hi = Duration::from_millis(6000);
+    let cdfs: Vec<Cdf> = points
+        .iter()
+        .map(|p| Cdf::on_grid(&p.total, lo, hi, steps))
+        .collect();
+    for i in 0..steps {
+        let x = cdfs[0].points()[i].0;
+        let mut row = vec![format!("{:.0}", x.as_millis_f64())];
+        for cdf in &cdfs {
+            row.push(format!("{:.3}", cdf.points()[i].1));
+        }
+        cdf_table.row(row);
+    }
+    cdf_table.emit(&args.csv);
+
+    // Panel 3: average election time per scale.
+    println!("== average leader-election time ==");
+    let mut avg = Table::new(vec![
+        "scale",
+        "raft_mean_ms",
+        "escape_mean_ms",
+        "reduction",
+        "raft_split_rate",
+        "escape_split_rate",
+        "escape_max_ms",
+    ]);
+    for &scale in &PAPER_SCALES {
+        let find = |proto: &str| {
+            points
+                .iter()
+                .find(|p| p.protocol == proto && p.scale == scale)
+                .expect("sweep covers the grid")
+        };
+        let raft = find("raft");
+        let escape = find("escape");
+        avg.row(vec![
+            scale.to_string(),
+            ms(raft.total.mean()),
+            ms(escape.total.mean()),
+            pct(reduction(raft.total.mean(), escape.total.mean())),
+            format!("{:.3}", raft.split_vote_rate),
+            format!("{:.3}", escape.split_vote_rate),
+            ms(escape.total.max()),
+        ]);
+    }
+    avg.emit(&None);
+
+    // §VI-B checkable claims.
+    for p in points.iter().filter(|p| p.protocol == "escape") {
+        println!(
+            "escape s={}: {} of elections within 2000 ms (paper: all)",
+            p.scale,
+            pct(p.total.fraction_within(Duration::from_millis(2000))),
+        );
+    }
+    for p in points.iter().filter(|p| p.protocol == "raft" && p.scale >= 32) {
+        println!(
+            "raft s={}: {} within 2000 ms (paper: <40%), {} beyond 4500 ms (paper at 128: >17%)",
+            p.scale,
+            pct(p.total.fraction_within(Duration::from_millis(2000))),
+            pct(1.0 - p.total.fraction_within(Duration::from_millis(4500))),
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Headline-numbers summary: every percentage claim from the paper's
+//! evaluation text, regenerated in one run (scaled-down defaults).
+//!
+//! ```text
+//! cargo run --release -p escape-bench --bin summary -- --runs 100
+//! ```
+
+use escape_bench::{ms, pct, reduction, BenchArgs, Table};
+use escape_cluster::experiments::loss::run_loss_sweep;
+use escape_cluster::experiments::phases::run_phases_sweep;
+use escape_cluster::experiments::scale::run_scale_sweep;
+
+fn main() {
+    let args = BenchArgs::parse(60);
+    eprintln!("summary: headline claims at {} runs per point", args.runs);
+
+    let mut table = Table::new(vec!["claim", "paper", "measured"]);
+
+    // §VI-B: −11.6 % at s=8, −21.3 % at s=128.
+    let scale_points = run_scale_sweep(&["raft", "escape"], &[8, 128], args.runs, args.seed);
+    let scale_mean = |proto: &str, scale: usize| {
+        scale_points
+            .iter()
+            .find(|p| p.protocol == proto && p.scale == scale)
+            .unwrap()
+            .total
+            .mean()
+    };
+    table.row(vec![
+        "LE-time reduction, s=8".to_string(),
+        "11.6%".to_string(),
+        pct(reduction(scale_mean("raft", 8), scale_mean("escape", 8))),
+    ]);
+    table.row(vec![
+        "LE-time reduction, s=128".to_string(),
+        "21.3%".to_string(),
+        pct(reduction(scale_mean("raft", 128), scale_mean("escape", 128))),
+    ]);
+    let escape_128 = scale_points
+        .iter()
+        .find(|p| p.protocol == "escape" && p.scale == 128)
+        .unwrap();
+    table.row(vec![
+        "ESCAPE elections within 2000 ms".to_string(),
+        "100%".to_string(),
+        pct(escape_128
+            .total
+            .fraction_within(escape_core::time::Duration::from_millis(2000))),
+    ]);
+
+    // §VI-C: multi-phase reductions at s=128.
+    let phase_points = run_phases_sweep(
+        &["raft", "escape"],
+        &[128],
+        &[1, 2, 3],
+        (args.runs / 4).max(5),
+        args.seed,
+    );
+    let phase_mean = |proto: &str, class: u32| {
+        phase_points
+            .iter()
+            .find(|p| p.protocol == proto && p.class == class)
+            .unwrap()
+            .total
+            .mean()
+    };
+    for (class, paper) in [(1u32, "44.9%"), (2, "64.2%"), (3, "74.3%")] {
+        table.row(vec![
+            format!("{class}-phase C.C. reduction, s=128"),
+            paper.to_string(),
+            pct(reduction(phase_mean("raft", class), phase_mean("escape", class))),
+        ]);
+    }
+
+    // §VI-D: loss-rate reductions.
+    let loss_points = run_loss_sweep(
+        &["raft", "zraft", "escape"],
+        &[10, 100],
+        &[10, 40],
+        args.runs,
+        args.seed,
+    );
+    let loss_mean = |proto: &str, scale: usize, delta: u32| {
+        loss_points
+            .iter()
+            .find(|p| p.protocol == proto && p.scale == scale && p.delta_pct == delta)
+            .unwrap()
+            .total
+            .mean()
+    };
+    for (scale, delta, proto, paper) in [
+        (10usize, 10u32, "zraft", "9.8%"),
+        (10, 40, "zraft", "14.3%"),
+        (10, 10, "escape", "9.6%"),
+        (10, 40, "escape", "19%"),
+        (100, 10, "escape", "21.4%"),
+        (100, 40, "escape", "49.3%"),
+    ] {
+        table.row(vec![
+            format!("{proto} reduction, s={scale}, Δ={delta}%"),
+            paper.to_string(),
+            pct(reduction(
+                loss_mean("raft", scale, delta),
+                loss_mean(proto, scale, delta),
+            )),
+        ]);
+    }
+
+    table.emit(&args.csv);
+    println!(
+        "reference means: raft s=128 {} ms, escape s=128 {} ms",
+        ms(scale_mean("raft", 128)),
+        ms(scale_mean("escape", 128)),
+    );
+}

@@ -1,0 +1,68 @@
+//! Glue between the engine's typed timer tokens and the simulator's opaque
+//! `u64` tokens.
+//!
+//! The engine cancels timers by bumping an epoch; the simulator never
+//! cancels anything. Encoding `(kind, epoch)` into the opaque token lets the
+//! engine's epoch check silently discard superseded expirations.
+
+use escape_core::engine::{TimerKind, TimerToken};
+
+/// Packs a [`TimerToken`] into the simulator's opaque `u64`.
+pub fn encode_timer(token: TimerToken) -> u64 {
+    let kind_bits = match token.kind {
+        TimerKind::Election => 0,
+        TimerKind::Heartbeat => 1,
+        TimerKind::VoteRetry => 2,
+    };
+    (token.epoch << 2) | kind_bits
+}
+
+/// Unpacks a simulator token back into a [`TimerToken`].
+///
+/// # Panics
+///
+/// Panics on an unknown kind encoding (a harness bug, not an input error).
+pub fn decode_timer(raw: u64) -> TimerToken {
+    let kind = match raw & 0b11 {
+        0 => TimerKind::Election,
+        1 => TimerKind::Heartbeat,
+        2 => TimerKind::VoteRetry,
+        other => unreachable!("unknown timer kind encoding {other}"),
+    };
+    TimerToken {
+        kind,
+        epoch: raw >> 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_both_kinds() {
+        for epoch in [0u64, 1, 2, 1_000_000, u64::MAX >> 2] {
+            for kind in [
+                TimerKind::Election,
+                TimerKind::Heartbeat,
+                TimerKind::VoteRetry,
+            ] {
+                let t = TimerToken { kind, epoch };
+                assert_eq!(decode_timer(encode_timer(t)), t);
+            }
+        }
+    }
+
+    #[test]
+    fn encodings_are_distinct() {
+        let a = encode_timer(TimerToken {
+            kind: TimerKind::Election,
+            epoch: 5,
+        });
+        let b = encode_timer(TimerToken {
+            kind: TimerKind::Heartbeat,
+            epoch: 5,
+        });
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,553 @@
+//! The simulated cluster: N consensus engines wired into the
+//! discrete-event network.
+//!
+//! [`SimCluster`] owns the nodes and the [`Sim`], pumps events between them,
+//! and keeps a protocol-level event log ([`ObservedEvent`]) that the
+//! election observer and the safety checker consume. Experiments are plain
+//! loops over this API — see [`crate::experiments`].
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use escape_core::config::EscapeParams;
+use escape_core::engine::{Action, Node, Options, ProposeError};
+use escape_core::message::Message;
+use escape_core::policy::{ElectionPolicy, EscapePolicy, RaftPolicy, ZRaftPolicy};
+use escape_core::time::{Duration, Time};
+use escape_core::types::{LogIndex, Role, ServerId, Term};
+use escape_simnet::latency::LatencyModel;
+use escape_simnet::loss::LossModel;
+use escape_simnet::sim::{Ready, Sim};
+
+use crate::adapter::{decode_timer, encode_timer};
+use crate::invariants::SafetyChecker;
+
+/// Constructs one node's election policy. `(id, cluster_size, seed)` →
+/// policy.
+pub type PolicyFactory =
+    Arc<dyn Fn(ServerId, usize, u64) -> Box<dyn ElectionPolicy> + Send + Sync>;
+
+/// Which election protocol a cluster runs.
+#[derive(Clone)]
+pub enum Protocol {
+    /// Stock Raft with timeouts drawn uniformly from `[min, max)`.
+    Raft {
+        /// Minimum election timeout.
+        timeout_min: Duration,
+        /// Maximum election timeout (exclusive).
+        timeout_max: Duration,
+    },
+    /// Z-Raft: static server-id priorities (SCA without PPF).
+    ZRaft {
+        /// Eq. 1 `baseTime`.
+        base_time: Duration,
+        /// Eq. 1 `k`.
+        spacing: Duration,
+    },
+    /// ESCAPE: SCA + PPF with the given Eq. 1 parameters.
+    Escape {
+        /// Eq. 1 `baseTime`.
+        base_time: Duration,
+        /// Eq. 1 `k`.
+        spacing: Duration,
+    },
+    /// Arbitrary per-node policies (scripted scenarios).
+    Custom(PolicyFactory),
+}
+
+impl std::fmt::Debug for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Protocol::Raft {
+                timeout_min,
+                timeout_max,
+            } => f
+                .debug_struct("Raft")
+                .field("timeout_min", timeout_min)
+                .field("timeout_max", timeout_max)
+                .finish(),
+            Protocol::ZRaft { base_time, spacing } => f
+                .debug_struct("ZRaft")
+                .field("base_time", base_time)
+                .field("spacing", spacing)
+                .finish(),
+            Protocol::Escape { base_time, spacing } => f
+                .debug_struct("Escape")
+                .field("base_time", base_time)
+                .field("spacing", spacing)
+                .finish(),
+            Protocol::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+impl Protocol {
+    /// Stock Raft with the paper's recommended 1500–3000 ms range (§VI-B).
+    pub fn raft_paper_default() -> Self {
+        Protocol::Raft {
+            timeout_min: Duration::from_millis(1500),
+            timeout_max: Duration::from_millis(3000),
+        }
+    }
+
+    /// ESCAPE with the paper's `baseTime = 1500 ms`, `k = 500 ms` (§VI-B).
+    pub fn escape_paper_default() -> Self {
+        Protocol::Escape {
+            base_time: Duration::from_millis(1500),
+            spacing: Duration::from_millis(500),
+        }
+    }
+
+    /// Z-Raft with the same Eq. 1 parameters as
+    /// [`Protocol::escape_paper_default`].
+    pub fn zraft_paper_default() -> Self {
+        Protocol::ZRaft {
+            base_time: Duration::from_millis(1500),
+            spacing: Duration::from_millis(500),
+        }
+    }
+
+    /// Short name for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Raft { .. } => "raft",
+            Protocol::ZRaft { .. } => "zraft",
+            Protocol::Escape { .. } => "escape",
+            Protocol::Custom(_) => "custom",
+        }
+    }
+
+    fn build_policy(&self, id: ServerId, n: usize, seed: u64) -> Box<dyn ElectionPolicy> {
+        match self {
+            Protocol::Raft {
+                timeout_min,
+                timeout_max,
+            } => Box::new(RaftPolicy::randomized(*timeout_min, *timeout_max, seed)),
+            Protocol::ZRaft { base_time, spacing } => {
+                let params = EscapeParams::builder(n)
+                    .base_time(*base_time)
+                    .spacing(*spacing)
+                    .build();
+                Box::new(ZRaftPolicy::new(id, params))
+            }
+            Protocol::Escape { base_time, spacing } => {
+                let params = EscapeParams::builder(n)
+                    .base_time(*base_time)
+                    .spacing(*spacing)
+                    .build();
+                Box::new(EscapePolicy::new(id, params))
+            }
+            Protocol::Custom(factory) => factory(id, n, seed),
+        }
+    }
+}
+
+/// Full description of a simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of servers.
+    pub n: usize,
+    /// Election protocol under test.
+    pub protocol: Protocol,
+    /// Link latency model.
+    pub latency: LatencyModel,
+    /// Loss model.
+    pub loss: LossModel,
+    /// Master seed; every node and the network derive their streams from
+    /// it.
+    pub seed: u64,
+    /// Engine options (heartbeat interval etc.).
+    pub options: Options,
+    /// Run the safety checker after every event (slows large sims; tests
+    /// enable it).
+    pub check_safety: bool,
+}
+
+impl ClusterConfig {
+    /// A cluster with the paper's network (uniform 100–200 ms latency, no
+    /// loss) and the given protocol.
+    pub fn paper_network(n: usize, protocol: Protocol, seed: u64) -> Self {
+        ClusterConfig {
+            n,
+            protocol,
+            latency: LatencyModel::paper_default(),
+            loss: LossModel::None,
+            seed,
+            options: Options::default(),
+            check_safety: false,
+        }
+    }
+}
+
+/// A protocol-level observation, timestamped with virtual time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObservedEvent {
+    /// `node` started an election campaign in `term`.
+    Candidate {
+        /// When.
+        at: Time,
+        /// Who.
+        node: ServerId,
+        /// Campaign term.
+        term: Term,
+    },
+    /// `node` won the election for `term`.
+    Leader {
+        /// When.
+        at: Time,
+        /// Who.
+        node: ServerId,
+        /// Leadership term.
+        term: Term,
+    },
+    /// `node` stepped down into `term`.
+    Follower {
+        /// When.
+        at: Time,
+        /// Who.
+        node: ServerId,
+        /// New follower term.
+        term: Term,
+    },
+    /// `node`'s commit index reached `index`.
+    Commit {
+        /// When.
+        at: Time,
+        /// Who.
+        node: ServerId,
+        /// New commit index.
+        index: LogIndex,
+    },
+    /// `node` crashed (fault injection).
+    Crash {
+        /// When.
+        at: Time,
+        /// Who.
+        node: ServerId,
+    },
+    /// `node` restarted (fault injection).
+    Restart {
+        /// When.
+        at: Time,
+        /// Who.
+        node: ServerId,
+    },
+}
+
+/// N consensus nodes + the simulated network + the observation log.
+#[derive(Debug)]
+pub struct SimCluster {
+    sim: Sim<Message>,
+    nodes: Vec<Node>,
+    alive: Vec<bool>,
+    events: Vec<ObservedEvent>,
+    checker: SafetyChecker,
+    check_safety: bool,
+    config: ClusterConfig,
+}
+
+impl SimCluster {
+    /// Builds and boots a cluster: every node starts as a follower with its
+    /// election timer armed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n` is zero.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.n > 0, "cluster needs at least one server");
+        let ids: Vec<ServerId> = (1..=config.n as u32).map(ServerId::new).collect();
+        let sim = Sim::new(config.seed, config.latency.clone(), config.loss);
+        let nodes: Vec<Node> = ids
+            .iter()
+            .map(|id| {
+                // Derive a per-node seed that is stable in (master seed, id).
+                let node_seed = config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(id.get() as u64);
+                Node::builder(*id, ids.clone())
+                    .policy(config.protocol.build_policy(*id, config.n, node_seed))
+                    .options(config.options)
+                    .build()
+            })
+            .collect();
+        let mut cluster = SimCluster {
+            sim,
+            nodes,
+            alive: vec![true; config.n],
+            events: Vec::new(),
+            checker: SafetyChecker::new(config.n),
+            check_safety: config.check_safety,
+            config,
+        };
+        for i in 0..cluster.nodes.len() {
+            let actions = cluster.nodes[i].start(Time::ZERO);
+            cluster.absorb(ServerId::from_index(i), actions);
+        }
+        cluster
+    }
+
+    // ---- inspection ----
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Virtual now.
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    /// The node for `id`.
+    pub fn node(&self, id: ServerId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node access (scenario scripting).
+    pub fn node_mut(&mut self, id: ServerId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// All server ids.
+    pub fn ids(&self) -> Vec<ServerId> {
+        (1..=self.config.n as u32).map(ServerId::new).collect()
+    }
+
+    /// `true` if `id` is currently alive.
+    pub fn is_alive(&self, id: ServerId) -> bool {
+        self.alive[id.index()]
+    }
+
+    /// The live leader in the highest term, if any.
+    pub fn current_leader(&self) -> Option<ServerId> {
+        self.nodes
+            .iter()
+            .filter(|n| self.alive[n.id().index()] && n.role() == Role::Leader)
+            .max_by_key(|n| n.current_term())
+            .map(|n| n.id())
+    }
+
+    /// The protocol-level observation log.
+    pub fn events(&self) -> &[ObservedEvent] {
+        &self.events
+    }
+
+    /// Network statistics.
+    pub fn net_stats(&self) -> escape_simnet::sim::NetStats {
+        self.sim.stats()
+    }
+
+    /// The underlying simulator (loss/partition/latency control).
+    pub fn sim_mut(&mut self) -> &mut Sim<Message> {
+        &mut self.sim
+    }
+
+    /// The safety checker's verdict so far.
+    pub fn safety(&self) -> &SafetyChecker {
+        &self.checker
+    }
+
+    // ---- fault injection ----
+
+    /// Crashes `id`.
+    pub fn crash(&mut self, id: ServerId) {
+        if std::mem::replace(&mut self.alive[id.index()], false) {
+            self.sim.crash(id);
+            self.events.push(ObservedEvent::Crash {
+                at: self.sim.now(),
+                node: id,
+            });
+        }
+    }
+
+    /// Restarts `id`: volatile state resets, persistent state survives.
+    pub fn restart(&mut self, id: ServerId) {
+        if !std::mem::replace(&mut self.alive[id.index()], true) {
+            self.sim.restart(id);
+            self.events.push(ObservedEvent::Restart {
+                at: self.sim.now(),
+                node: id,
+            });
+            let now = self.sim.now();
+            let actions = self.nodes[id.index()].restart(now);
+            self.absorb(id, actions);
+        }
+    }
+
+    /// Crashes the current leader and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no live leader exists.
+    pub fn crash_leader(&mut self) -> ServerId {
+        let leader = self.current_leader().expect("no live leader to crash");
+        self.crash(leader);
+        leader
+    }
+
+    // ---- workload ----
+
+    /// Proposes `command` through the current leader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProposeError::NotLeader`] if no live leader exists.
+    pub fn propose(&mut self, command: Bytes) -> Result<LogIndex, ProposeError> {
+        let leader = self
+            .current_leader()
+            .ok_or(ProposeError::NotLeader { hint: None })?;
+        let now = self.sim.now();
+        let (index, actions) = self.nodes[leader.index()].propose(command, now)?;
+        self.absorb(leader, actions);
+        Ok(index)
+    }
+
+    // ---- the pump ----
+
+    /// Processes events until virtual time reaches `deadline`.
+    pub fn run_until(&mut self, deadline: Time) {
+        while let Some(ready) = self.sim.step_before(deadline) {
+            self.dispatch(ready);
+        }
+    }
+
+    /// Runs for `span` more virtual time.
+    pub fn run_for(&mut self, span: Duration) {
+        let deadline = self.now() + span;
+        self.run_until(deadline);
+    }
+
+    /// Processes events until some live node reports leadership in a term
+    /// `> after_term`, or `deadline` passes. Returns the winner.
+    pub fn run_until_new_leader(&mut self, after_term: Term, deadline: Time) -> Option<ServerId> {
+        let already = self.events.iter().rev().find_map(|e| match e {
+            ObservedEvent::Leader { node, term, .. } if *term > after_term => Some(*node),
+            _ => None,
+        });
+        if let Some(node) = already {
+            return Some(node);
+        }
+        let mut cursor = self.events.len();
+        while let Some(ready) = self.sim.step_before(deadline) {
+            self.dispatch(ready);
+            for event in &self.events[cursor..] {
+                if let ObservedEvent::Leader { node, term, .. } = event {
+                    if *term > after_term {
+                        return Some(*node);
+                    }
+                }
+            }
+            cursor = self.events.len();
+        }
+        None
+    }
+
+    /// Bootstraps until an initial leader exists and its heartbeats have
+    /// circulated for `settle` (letting PPF distribute configurations).
+    /// Returns the leader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no leader emerges within a generous horizon (5 minutes of
+    /// virtual time) — that would be a liveness bug.
+    pub fn bootstrap(&mut self, settle: Duration) -> ServerId {
+        let horizon = self.now() + Duration::from_secs(300);
+        let leader = self
+            .run_until_new_leader(Term::ZERO, horizon)
+            .expect("bootstrap: no leader within 5 virtual minutes");
+        let settle_deadline = self.now() + settle;
+        self.run_until(settle_deadline);
+        // The leader may have changed while settling (rare, e.g. under
+        // heavy loss); report the live one.
+        self.current_leader().unwrap_or(leader)
+    }
+
+    fn dispatch(&mut self, ready: Ready<Message>) {
+        match ready {
+            Ready::Message { from, to, msg } => {
+                if !self.alive[to.index()] {
+                    return;
+                }
+                let now = self.sim.now();
+                let actions = self.nodes[to.index()].handle_message(from, msg, now);
+                self.absorb(to, actions);
+            }
+            Ready::Timer { node, token } => {
+                if !self.alive[node.index()] {
+                    return;
+                }
+                let now = self.sim.now();
+                let actions = self.nodes[node.index()].handle_timer(decode_timer(token), now);
+                self.absorb(node, actions);
+            }
+            Ready::Control { .. } => {
+                // Control points are consumed by experiment loops via
+                // step_before deadlines; nothing to do here.
+            }
+        }
+    }
+
+    /// Routes a node's actions into the simulator and the observation log.
+    fn absorb(&mut self, id: ServerId, actions: Vec<Action>) {
+        let at = self.sim.now();
+        // Group broadcast sends so the loss model can omit receivers per
+        // fan-out (§VI-D).
+        let mut broadcast: Vec<(u64, Vec<(ServerId, Message)>)> = Vec::new();
+        for action in actions {
+            match action {
+                Action::Send {
+                    to,
+                    msg,
+                    broadcast: Some(bid),
+                } => match broadcast.iter_mut().find(|(b, _)| *b == bid) {
+                    Some((_, fanout)) => fanout.push((to, msg)),
+                    None => broadcast.push((bid, vec![(to, msg)])),
+                },
+                Action::Send {
+                    to,
+                    msg,
+                    broadcast: None,
+                } => self.sim.send(id, to, msg),
+                Action::SetTimer { token, deadline } => {
+                    self.sim.set_timer(id, encode_timer(token), deadline)
+                }
+                Action::BecameCandidate { term } => self.events.push(ObservedEvent::Candidate {
+                    at,
+                    node: id,
+                    term,
+                }),
+                Action::BecameLeader { term } => {
+                    self.events.push(ObservedEvent::Leader {
+                        at,
+                        node: id,
+                        term,
+                    });
+                    self.checker.observe_leader(id, term);
+                }
+                Action::BecameFollower { term } => self.events.push(ObservedEvent::Follower {
+                    at,
+                    node: id,
+                    term,
+                }),
+                Action::Committed { index } => {
+                    self.events.push(ObservedEvent::Commit {
+                        at,
+                        node: id,
+                        index,
+                    });
+                    self.checker
+                        .observe_commit(&self.nodes[id.index()], index);
+                }
+                Action::Applied { .. } => {}
+            }
+        }
+        for (_, fanout) in broadcast {
+            self.sim.send_broadcast(id, fanout);
+        }
+        if self.check_safety {
+            self.checker.check_cluster(&self.nodes, &self.alive);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Figure 11: leader election under message loss.
+//!
+//! §VI-D: clusters of 10, 50 and 100 servers; loss rates Δ ∈ {0, 10, 20,
+//! 30, 40} % where each broadcast omits `Δ·n` random receivers; protocols
+//! Raft, Z-Raft (static ZooKeeper-style priorities) and ESCAPE. A client
+//! workload runs before the crash so that, under loss, follower logs
+//! actually diverge — that divergence is what turns stale high-priority
+//! servers into unqualified candidates and separates Z-Raft from ESCAPE.
+
+use escape_simnet::loss::LossModel;
+
+use crate::cluster::{ClusterConfig, Protocol};
+use crate::stats::Summary;
+use crate::trial::{run_trials, TrialConfig};
+
+/// The paper's loss rates, in percent.
+pub const PAPER_DELTAS: [u32; 5] = [0, 10, 20, 30, 40];
+
+/// The paper's cluster sizes for this experiment.
+pub const PAPER_SCALES: [usize; 3] = [10, 50, 100];
+
+/// Client commands proposed before the crash (spaced at the trial's
+/// workload interval) so logs diverge under loss.
+pub const WORKLOAD_COMMANDS: usize = 30;
+
+/// One point: protocol × scale × loss rate.
+#[derive(Clone, Debug)]
+pub struct LossPoint {
+    /// `"raft"`, `"zraft"` or `"escape"`.
+    pub protocol: &'static str,
+    /// Cluster size.
+    pub scale: usize,
+    /// Loss rate in percent.
+    pub delta_pct: u32,
+    /// Total leader-election times.
+    pub total: Summary,
+    /// Mean campaigns per election.
+    pub mean_campaigns: f64,
+    /// Runs that failed to elect within the horizon (should be zero).
+    pub timed_out: usize,
+}
+
+fn protocol_by_name(name: &str) -> (Protocol, &'static str) {
+    match name {
+        "raft" => (Protocol::raft_paper_default(), "raft"),
+        "zraft" => (Protocol::zraft_paper_default(), "zraft"),
+        "escape" => (Protocol::escape_paper_default(), "escape"),
+        other => panic!("unknown protocol {other:?}"),
+    }
+}
+
+/// Runs the Fig. 11 sweep.
+///
+/// # Panics
+///
+/// Panics on unknown protocol names.
+pub fn run_loss_sweep(
+    protocols: &[&str],
+    scales: &[usize],
+    deltas_pct: &[u32],
+    runs: usize,
+    base_seed: u64,
+) -> Vec<LossPoint> {
+    let mut out = Vec::new();
+    for (pi, protocol_name) in protocols.iter().enumerate() {
+        for &scale in scales {
+            for &delta in deltas_pct {
+                let (protocol, name) = protocol_by_name(protocol_name);
+                let mut cluster = ClusterConfig::paper_network(scale, protocol, base_seed);
+                cluster.loss = if delta == 0 {
+                    LossModel::None
+                } else {
+                    LossModel::BroadcastOmission(delta as f64 / 100.0)
+                };
+                let template = TrialConfig::with_workload(cluster, WORKLOAD_COMMANDS);
+                let seed = base_seed
+                    .wrapping_add((pi as u64) << 56)
+                    .wrapping_add((scale as u64) << 40)
+                    .wrapping_add((delta as u64) << 32);
+                let measurements = run_trials(&template, seed, runs);
+                let timed_out = runs - measurements.len();
+                let denom = measurements.len().max(1) as f64;
+                out.push(LossPoint {
+                    protocol: name,
+                    scale,
+                    delta_pct: delta,
+                    total: Summary::new(measurements.iter().map(|m| m.total()).collect()),
+                    mean_campaigns: measurements
+                        .iter()
+                        .map(|m| m.campaigns as f64)
+                        .sum::<f64>()
+                        / denom,
+                    timed_out,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_hurts_raft_more_than_escape() {
+        let points = run_loss_sweep(&["raft", "escape"], &[10], &[0, 40], 10, 23);
+        let mean = |proto: &str, delta: u32| {
+            points
+                .iter()
+                .find(|p| p.protocol == proto && p.delta_pct == delta)
+                .unwrap()
+                .total
+                .mean()
+        };
+        let raft_40 = mean("raft", 40);
+        let escape_40 = mean("escape", 40);
+        assert!(
+            escape_40 < raft_40,
+            "escape {escape_40} should beat raft {raft_40} at Δ=40%"
+        );
+        // Loss should degrade Raft relative to its lossless baseline.
+        assert!(raft_40 > mean("raft", 0));
+    }
+
+    #[test]
+    fn all_protocols_survive_heavy_loss() {
+        let points = run_loss_sweep(&["raft", "zraft", "escape"], &[10], &[30], 5, 31);
+        for p in &points {
+            assert_eq!(p.timed_out, 0, "{} timed out at Δ=30%", p.protocol);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Figures 3 & 4: the randomness trade-off in Raft's leader election.
+//!
+//! §III: a 5-server Raft cluster at 100–200 ms latency, 1000 runs per
+//! election-timeout range. Narrow ranges detect failures fast but split
+//! votes often; wide ranges avoid splits but detect slowly — the measured
+//! election time is U-shaped in the amount of randomness.
+
+use escape_core::time::Duration;
+
+use crate::cluster::{ClusterConfig, Protocol};
+use crate::stats::Summary;
+use crate::trial::{run_trials, TrialConfig};
+
+/// The six ranges of Figs. 3–4, in ms: 1500–{1800, 2000, 3000, 4000, 5000,
+/// 6000}.
+pub const PAPER_RANGES_MS: [(u64, u64); 6] = [
+    (1500, 1800),
+    (1500, 2000),
+    (1500, 3000),
+    (1500, 4000),
+    (1500, 5000),
+    (1500, 6000),
+];
+
+/// The cluster size of the §III study.
+pub const PAPER_CLUSTER_SIZE: usize = 5;
+
+/// One sweep point: a timeout range and its election-time distribution.
+#[derive(Clone, Debug)]
+pub struct RandomnessPoint {
+    /// Election timeouts were drawn from `[range_ms.0, range_ms.1)`.
+    pub range_ms: (u64, u64),
+    /// Total (detection + election) leader-election times.
+    pub total: Summary,
+    /// Detection periods only.
+    pub detection: Summary,
+    /// Election periods only.
+    pub election: Summary,
+    /// Fraction of runs whose campaigns saw competing candidates.
+    pub split_vote_rate: f64,
+}
+
+/// Runs the §III sweep: `runs` leader-failure trials per range.
+pub fn run_randomness_sweep(
+    ranges_ms: &[(u64, u64)],
+    runs: usize,
+    base_seed: u64,
+) -> Vec<RandomnessPoint> {
+    ranges_ms
+        .iter()
+        .enumerate()
+        .map(|(i, &(lo, hi))| {
+            let protocol = Protocol::Raft {
+                timeout_min: Duration::from_millis(lo),
+                timeout_max: Duration::from_millis(hi),
+            };
+            let cluster =
+                ClusterConfig::paper_network(PAPER_CLUSTER_SIZE, protocol, base_seed);
+            let template = TrialConfig::election_only(cluster);
+            let seed = base_seed.wrapping_add((i as u64) << 32);
+            let measurements = run_trials(&template, seed, runs);
+            let splits = measurements
+                .iter()
+                .filter(|m| m.competing_phases > 0)
+                .count();
+            let denom = measurements.len().max(1);
+            RandomnessPoint {
+                range_ms: (lo, hi),
+                total: Summary::new(measurements.iter().map(|m| m.total()).collect()),
+                detection: Summary::new(measurements.iter().map(|m| m.detection()).collect()),
+                election: Summary::new(measurements.iter().map(|m| m.election()).collect()),
+                split_vote_rate: splits as f64 / denom as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_range_splits_more_than_wide() {
+        // A scaled-down version of the §III finding: with only 300 ms of
+        // randomness, concurrent candidates are far more common than with
+        // 4500 ms.
+        let points = run_randomness_sweep(&[(1500, 1800), (1500, 6000)], 40, 42);
+        assert_eq!(points.len(), 2);
+        let narrow = &points[0];
+        let wide = &points[1];
+        assert!(
+            narrow.split_vote_rate > wide.split_vote_rate,
+            "narrow {} should split more than wide {}",
+            narrow.split_vote_rate,
+            wide.split_vote_rate
+        );
+        // And the wide range detects slower on average.
+        assert!(wide.detection.mean() > narrow.detection.mean());
+    }
+
+    #[test]
+    fn every_run_elects_a_leader() {
+        let points = run_randomness_sweep(&[(1500, 3000)], 25, 7);
+        assert_eq!(points[0].total.len(), 25, "no run may time out");
+    }
+}

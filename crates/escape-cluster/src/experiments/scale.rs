@@ -1,0 +1,125 @@
+//! Figure 9: leader-election time at increasing scales.
+//!
+//! §VI-B: clusters of 8, 16, 32, 64 and 128 servers; Raft with 1500–3000 ms
+//! timeouts, ESCAPE with `baseTime = 1500 ms`, `k = 500 ms`; 1000 runs of
+//! repeated leader crashes per point. ESCAPE completes every election
+//! within ~2000 ms with no split votes; Raft's distribution grows a heavy
+//! tail as the scale (and hence the candidate-collision probability) rises.
+
+use crate::cluster::{ClusterConfig, Protocol};
+use crate::stats::Summary;
+use crate::trial::{run_trials, TrialConfig};
+
+/// The paper's evaluation scales (§VI-B).
+pub const PAPER_SCALES: [usize; 5] = [8, 16, 32, 64, 128];
+
+/// One sweep point: a protocol at a scale.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    /// `"raft"` or `"escape"`.
+    pub protocol: &'static str,
+    /// Cluster size.
+    pub scale: usize,
+    /// Total leader-election times.
+    pub total: Summary,
+    /// Detection periods.
+    pub detection: Summary,
+    /// Election periods.
+    pub election: Summary,
+    /// Fraction of runs with at least one competing-candidate phase.
+    pub split_vote_rate: f64,
+    /// Mean campaigns per election (1.0 = always a single campaign).
+    pub mean_campaigns: f64,
+}
+
+fn protocol_by_name(name: &str) -> Protocol {
+    match name {
+        "raft" => Protocol::raft_paper_default(),
+        "zraft" => Protocol::zraft_paper_default(),
+        "escape" => Protocol::escape_paper_default(),
+        other => panic!("unknown protocol {other:?}"),
+    }
+}
+
+fn static_name(name: &str) -> &'static str {
+    match name {
+        "raft" => "raft",
+        "zraft" => "zraft",
+        "escape" => "escape",
+        other => panic!("unknown protocol {other:?}"),
+    }
+}
+
+/// Runs the Fig. 9 sweep for the given protocols and scales.
+///
+/// # Panics
+///
+/// Panics on unknown protocol names (accepted: `"raft"`, `"zraft"`,
+/// `"escape"`).
+pub fn run_scale_sweep(
+    protocols: &[&str],
+    scales: &[usize],
+    runs: usize,
+    base_seed: u64,
+) -> Vec<ScalePoint> {
+    let mut out = Vec::new();
+    for (pi, protocol_name) in protocols.iter().enumerate() {
+        for (si, &scale) in scales.iter().enumerate() {
+            let cluster = ClusterConfig::paper_network(
+                scale,
+                protocol_by_name(protocol_name),
+                base_seed,
+            );
+            let template = TrialConfig::election_only(cluster);
+            let seed = base_seed
+                .wrapping_add((pi as u64) << 48)
+                .wrapping_add((si as u64) << 40);
+            let measurements = run_trials(&template, seed, runs);
+            let splits = measurements
+                .iter()
+                .filter(|m| m.competing_phases > 0)
+                .count();
+            let denom = measurements.len().max(1) as f64;
+            out.push(ScalePoint {
+                protocol: static_name(protocol_name),
+                scale,
+                total: Summary::new(measurements.iter().map(|m| m.total()).collect()),
+                detection: Summary::new(measurements.iter().map(|m| m.detection()).collect()),
+                election: Summary::new(measurements.iter().map(|m| m.election()).collect()),
+                split_vote_rate: splits as f64 / denom,
+                mean_campaigns: measurements.iter().map(|m| m.campaigns as f64).sum::<f64>()
+                    / denom,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use escape_core::time::Duration;
+
+    #[test]
+    fn escape_beats_raft_at_scale_16() {
+        let points = run_scale_sweep(&["raft", "escape"], &[16], 20, 11);
+        let raft = points.iter().find(|p| p.protocol == "raft").unwrap();
+        let escape = points.iter().find(|p| p.protocol == "escape").unwrap();
+        assert!(
+            escape.total.mean() < raft.total.mean(),
+            "escape {} should beat raft {}",
+            escape.total.mean(),
+            raft.total.mean()
+        );
+        // §VI-B: all ESCAPE elections complete within ~2000 ms.
+        assert!(escape.total.max() <= Duration::from_millis(2300));
+        assert_eq!(escape.split_vote_rate, 0.0, "no split votes under ESCAPE");
+    }
+
+    #[test]
+    fn results_cover_the_grid() {
+        let points = run_scale_sweep(&["escape"], &[4, 8], 5, 3);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.total.len() == 5));
+    }
+}

@@ -1,0 +1,191 @@
+//! Summary statistics and CDFs for experiment output.
+//!
+//! The paper reports averages (Figs. 4, 9-right, 10, 11) and cumulative
+//! distributions (Figs. 3, 9-left/middle); [`Summary`] and [`Cdf`] produce
+//! both from a vector of per-run measurements.
+
+use escape_core::time::Duration;
+
+/// Aggregate statistics over a set of duration samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Summary {
+    sorted: Vec<Duration>,
+}
+
+impl Summary {
+    /// Builds a summary from samples (order irrelevant).
+    pub fn new(mut samples: Vec<Duration>) -> Self {
+        samples.sort_unstable();
+        Summary { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Arithmetic mean (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.sorted.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: u64 = self.sorted.iter().map(|d| d.as_micros()).sum();
+        Duration::from_micros(total / self.sorted.len() as u64)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Duration {
+        self.sorted.first().copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Duration {
+        self.sorted.last().copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// The `q`-quantile (nearest-rank), `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+        if self.sorted.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// Median.
+    pub fn median(&self) -> Duration {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples `<= threshold` — the CDF evaluated at a point
+    /// (used for claims like "less than 40 % of Raft's campaigns completed
+    /// within 2000 ms", §VI-B).
+    pub fn fraction_within(&self, threshold: Duration) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let within = self.sorted.partition_point(|d| *d <= threshold);
+        within as f64 / self.sorted.len() as f64
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[Duration] {
+        &self.sorted
+    }
+}
+
+/// An empirical CDF sampled on a fixed grid, ready for CSV output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cdf {
+    points: Vec<(Duration, f64)>,
+}
+
+impl Cdf {
+    /// Evaluates the CDF of `summary` at `steps` evenly spaced points
+    /// between `lo` and `hi` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps < 2` or `hi <= lo`.
+    pub fn on_grid(summary: &Summary, lo: Duration, hi: Duration, steps: usize) -> Self {
+        assert!(steps >= 2, "need at least two grid points");
+        assert!(hi > lo, "empty grid range");
+        let span = hi.as_micros() - lo.as_micros();
+        let points = (0..steps)
+            .map(|i| {
+                let x = Duration::from_micros(
+                    lo.as_micros() + span * i as u64 / (steps as u64 - 1),
+                );
+                (x, summary.fraction_within(x))
+            })
+            .collect();
+        Cdf { points }
+    }
+
+    /// `(x, F(x))` pairs in ascending `x`.
+    pub fn points(&self) -> &[(Duration, f64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn summary(vals: &[u64]) -> Summary {
+        Summary::new(vals.iter().copied().map(ms).collect())
+    }
+
+    #[test]
+    fn mean_min_max_median() {
+        let s = summary(&[30, 10, 20, 40]);
+        assert_eq!(s.mean(), ms(25));
+        assert_eq!(s.min(), ms(10));
+        assert_eq!(s.max(), ms(40));
+        assert_eq!(s.median(), ms(20));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let s = summary(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(s.quantile(0.1), ms(1));
+        assert_eq!(s.quantile(0.5), ms(5));
+        assert_eq!(s.quantile(0.95), ms(10));
+        assert_eq!(s.quantile(1.0), ms(10));
+        assert_eq!(s.quantile(0.0), ms(1));
+    }
+
+    #[test]
+    fn empty_summary_is_harmless() {
+        let s = Summary::new(Vec::new());
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.quantile(0.9), Duration::ZERO);
+        assert_eq!(s.fraction_within(ms(100)), 0.0);
+    }
+
+    #[test]
+    fn fraction_within_matches_by_hand() {
+        let s = summary(&[100, 200, 300, 400]);
+        assert_eq!(s.fraction_within(ms(50)), 0.0);
+        assert_eq!(s.fraction_within(ms(200)), 0.5);
+        assert_eq!(s.fraction_within(ms(1000)), 1.0);
+        assert_eq!(s.fraction_within(ms(250)), 0.5);
+    }
+
+    #[test]
+    fn cdf_grid_is_monotone_and_spans_range() {
+        let s = summary(&[100, 150, 150, 180, 400]);
+        let cdf = Cdf::on_grid(&s, ms(100), ms(400), 7);
+        let pts = cdf.points();
+        assert_eq!(pts.len(), 7);
+        assert_eq!(pts[0].0, ms(100));
+        assert_eq!(pts[6].0, ms(400));
+        assert!((pts[6].1 - 1.0).abs() < f64::EPSILON);
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn quantile_rejects_out_of_range() {
+        let _ = summary(&[1]).quantile(1.5);
+    }
+}

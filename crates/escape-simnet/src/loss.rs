@@ -1,0 +1,113 @@
+//! Message-loss models.
+//!
+//! §VI-D defines loss at the *broadcast* granularity: "At each rate, a
+//! broadcast only reaches `1−Δ` servers … a sender (leader or candidate)
+//! randomly omits two servers in each broadcast" (example for Δ=20 %,
+//! n=10). [`LossModel::BroadcastOmission`] reproduces that exactly;
+//! [`LossModel::Bernoulli`] is the i.i.d. per-message alternative, provided
+//! for ablations.
+
+use escape_core::rand::{sample_indexes, Rng64};
+
+/// Decides which messages disappear in flight.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LossModel {
+    /// Lossless network.
+    None,
+    /// Each message is independently dropped with probability `p`
+    /// (requests *and* replies).
+    Bernoulli(f64),
+    /// The paper's model: each *broadcast* fan-out omits `round(Δ·k)` of
+    /// its `k` receivers, chosen uniformly; unicast replies are unaffected.
+    BroadcastOmission(f64),
+}
+
+impl LossModel {
+    /// Whether a unicast (non-broadcast) message survives.
+    pub fn unicast_survives(&self, rng: &mut dyn Rng64) -> bool {
+        match self {
+            LossModel::None | LossModel::BroadcastOmission(_) => true,
+            LossModel::Bernoulli(p) => !rng.gen_bool(*p),
+        }
+    }
+
+    /// Selects the receiver *positions* (indexes into the fan-out list) that
+    /// a broadcast to `k` receivers fails to reach.
+    pub fn broadcast_omissions(&self, k: usize, rng: &mut dyn Rng64) -> Vec<usize> {
+        match self {
+            LossModel::None => Vec::new(),
+            LossModel::Bernoulli(p) => (0..k).filter(|_| rng.gen_bool(*p)).collect(),
+            LossModel::BroadcastOmission(delta) => {
+                let omit = ((*delta * k as f64).round() as usize).min(k);
+                sample_indexes(k, omit, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use escape_core::rand::Xoshiro256;
+
+    #[test]
+    fn none_never_drops() {
+        let mut rng = Xoshiro256::seed_from(1);
+        assert!(LossModel::None.unicast_survives(&mut rng));
+        assert!(LossModel::None.broadcast_omissions(9, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn broadcast_omission_matches_paper_example() {
+        // §VI-D: "in a cluster of 10 servers and Δ=20%, a sender randomly
+        // omits two servers in each broadcast" — 9 receivers, round(1.8)=2.
+        let mut rng = Xoshiro256::seed_from(2);
+        let m = LossModel::BroadcastOmission(0.20);
+        for _ in 0..100 {
+            let omitted = m.broadcast_omissions(9, &mut rng);
+            assert_eq!(omitted.len(), 2);
+            let mut d = omitted.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 2, "omissions must be distinct receivers");
+            assert!(omitted.iter().all(|&i| i < 9));
+        }
+    }
+
+    #[test]
+    fn broadcast_omission_leaves_unicast_alone() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let m = LossModel::BroadcastOmission(0.99);
+        for _ in 0..100 {
+            assert!(m.unicast_survives(&mut rng));
+        }
+    }
+
+    #[test]
+    fn zero_delta_omits_nobody() {
+        let mut rng = Xoshiro256::seed_from(4);
+        let m = LossModel::BroadcastOmission(0.0);
+        assert!(m.broadcast_omissions(127, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn full_delta_omits_everybody() {
+        let mut rng = Xoshiro256::seed_from(5);
+        let m = LossModel::BroadcastOmission(1.0);
+        assert_eq!(m.broadcast_omissions(7, &mut rng).len(), 7);
+    }
+
+    #[test]
+    fn bernoulli_tracks_rate_on_both_paths() {
+        let mut rng = Xoshiro256::seed_from(6);
+        let m = LossModel::Bernoulli(0.25);
+        let survived = (0..20_000).filter(|_| m.unicast_survives(&mut rng)).count();
+        let rate = 1.0 - survived as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "unicast loss rate {rate}");
+        let dropped: usize = (0..2_000)
+            .map(|_| m.broadcast_omissions(10, &mut rng).len())
+            .sum();
+        let rate = dropped as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "broadcast loss rate {rate}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Network partitions.
+//!
+//! A [`PartitionMap`] groups servers into disjoint islands; messages between
+//! islands are dropped until the partition heals. §II-B notes that "network
+//! split and message loss often cause multiple elections" — partitions are
+//! the fault injector behind those scenarios.
+
+use std::collections::BTreeMap;
+
+use escape_core::types::ServerId;
+
+/// Tracks which servers can currently reach which.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionMap {
+    /// Island id per server; servers not present are in the default island.
+    islands: BTreeMap<ServerId, u32>,
+    /// Specific severed links (both directions), independent of islands.
+    severed: Vec<(ServerId, ServerId)>,
+}
+
+impl PartitionMap {
+    /// A fully connected network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Splits the cluster: every listed group becomes an island; servers in
+    /// no group share the default island `0`.
+    pub fn split(&mut self, groups: &[Vec<ServerId>]) {
+        self.islands.clear();
+        for (i, group) in groups.iter().enumerate() {
+            for id in group {
+                self.islands.insert(*id, i as u32 + 1);
+            }
+        }
+    }
+
+    /// Severs the single bidirectional link `a ↔ b`.
+    pub fn sever_link(&mut self, a: ServerId, b: ServerId) {
+        if !self.link_severed(a, b) {
+            self.severed.push((a, b));
+        }
+    }
+
+    /// Restores the single link `a ↔ b`.
+    pub fn restore_link(&mut self, a: ServerId, b: ServerId) {
+        self.severed
+            .retain(|(x, y)| !((*x == a && *y == b) || (*x == b && *y == a)));
+    }
+
+    /// Heals all partitions and severed links.
+    pub fn heal(&mut self) {
+        self.islands.clear();
+        self.severed.clear();
+    }
+
+    /// `true` if `src` can currently reach `dst`.
+    pub fn connected(&self, src: ServerId, dst: ServerId) -> bool {
+        if self.link_severed(src, dst) {
+            return false;
+        }
+        let island = |id: ServerId| self.islands.get(&id).copied().unwrap_or(0);
+        island(src) == island(dst)
+    }
+
+    fn link_severed(&self, a: ServerId, b: ServerId) -> bool {
+        self.severed
+            .iter()
+            .any(|(x, y)| (*x == a && *y == b) || (*x == b && *y == a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(id: u32) -> ServerId {
+        ServerId::new(id)
+    }
+
+    #[test]
+    fn fresh_map_is_fully_connected() {
+        let p = PartitionMap::new();
+        assert!(p.connected(s(1), s(2)));
+        assert!(p.connected(s(9), s(1)));
+    }
+
+    #[test]
+    fn split_blocks_cross_island_traffic() {
+        let mut p = PartitionMap::new();
+        p.split(&[vec![s(1), s(2)], vec![s(3), s(4), s(5)]]);
+        assert!(p.connected(s(1), s(2)));
+        assert!(p.connected(s(3), s(5)));
+        assert!(!p.connected(s(1), s(3)));
+        assert!(!p.connected(s(5), s(2)));
+    }
+
+    #[test]
+    fn unlisted_servers_share_default_island() {
+        let mut p = PartitionMap::new();
+        p.split(&[vec![s(1)]]);
+        assert!(p.connected(s(2), s(3)), "unlisted servers stay together");
+        assert!(!p.connected(s(1), s(2)));
+    }
+
+    #[test]
+    fn heal_restores_everything() {
+        let mut p = PartitionMap::new();
+        p.split(&[vec![s(1)], vec![s(2)]]);
+        p.sever_link(s(3), s(4));
+        p.heal();
+        assert!(p.connected(s(1), s(2)));
+        assert!(p.connected(s(3), s(4)));
+    }
+
+    #[test]
+    fn severed_links_are_bidirectional_and_restorable() {
+        let mut p = PartitionMap::new();
+        p.sever_link(s(1), s(2));
+        p.sever_link(s(1), s(2)); // idempotent
+        assert!(!p.connected(s(1), s(2)));
+        assert!(!p.connected(s(2), s(1)));
+        assert!(p.connected(s(1), s(3)));
+        p.restore_link(s(2), s(1));
+        assert!(p.connected(s(1), s(2)));
+    }
+}

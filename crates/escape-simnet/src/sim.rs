@@ -1,0 +1,620 @@
+//! The simulator core: a virtual clock, a deterministic event queue, and the
+//! network models, glued behind a small imperative API.
+//!
+//! The simulator is deliberately *passive*: it does not own the protocol
+//! nodes. A harness (the `escape-cluster` crate) pumps [`Sim::step`] in a
+//! loop, feeds delivered events into its nodes, and pushes the resulting
+//! sends/timers back in. That keeps this crate independent of the consensus
+//! engine's types and makes every experiment a plain, readable loop.
+//!
+//! Determinism: all randomness flows from one seeded [`Xoshiro256`]; ties in
+//! the event queue break by insertion order; and node restarts use
+//! *incarnation numbers* so pre-crash messages and timers can never leak
+//! into a later life of the node.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use escape_core::rand::Xoshiro256;
+use escape_core::time::{Duration, Time};
+use escape_core::types::ServerId;
+
+use crate::latency::LatencyModel;
+use crate::loss::LossModel;
+use crate::partition::PartitionMap;
+use crate::queue::EventQueue;
+use crate::trace::{DropCause, Trace, TraceEvent};
+
+/// Messages the simulator can carry: cheap to clone, comparable (for the
+/// deterministic queue), and self-describing for traces.
+pub trait SimMessage: Clone + std::fmt::Debug + Eq {
+    /// Short kind name for traces ("AppendEntries", …).
+    fn kind_name(&self) -> &'static str {
+        "message"
+    }
+}
+
+impl SimMessage for escape_core::message::Message {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            escape_core::message::Message::AppendEntries(_) => "AppendEntries",
+            escape_core::message::Message::AppendEntriesReply(_) => "AppendEntriesReply",
+            escape_core::message::Message::RequestVote(_) => "RequestVote",
+            escape_core::message::Message::RequestVoteReply(_) => "RequestVoteReply",
+            escape_core::message::Message::InstallSnapshot(_) => "InstallSnapshot",
+            escape_core::message::Message::InstallSnapshotReply(_) => "InstallSnapshotReply",
+        }
+    }
+}
+
+/// Internal queued event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum SimEvent<M> {
+    Deliver {
+        from: ServerId,
+        to: ServerId,
+        msg: M,
+        incarnation: u64,
+    },
+    Timer {
+        node: ServerId,
+        token: u64,
+        incarnation: u64,
+    },
+    Control {
+        tag: u64,
+    },
+}
+
+/// An event the harness must act on, already filtered for crashes and stale
+/// incarnations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Ready<M> {
+    /// Deliver `msg` from `from` to `to`.
+    Message {
+        /// Sender.
+        from: ServerId,
+        /// Receiver (alive, current incarnation).
+        to: ServerId,
+        /// The payload.
+        msg: M,
+    },
+    /// `node`'s timer with opaque `token` expired.
+    Timer {
+        /// The timer's owner.
+        node: ServerId,
+        /// The opaque token passed to [`Sim::set_timer`].
+        token: u64,
+    },
+    /// A control point scheduled via [`Sim::schedule_control`] (fault
+    /// scripts, measurement points).
+    Control {
+        /// The tag passed at scheduling time.
+        tag: u64,
+    },
+}
+
+/// Network-level counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages submitted for transmission.
+    pub sent: u64,
+    /// Messages handed to their destination.
+    pub delivered: u64,
+    /// Messages eaten by the loss model.
+    pub dropped_loss: u64,
+    /// Messages blocked by a partition.
+    pub dropped_partition: u64,
+    /// Messages addressed to a crashed or re-incarnated node.
+    pub dropped_crashed: u64,
+    /// Timer events fired (current incarnation only).
+    pub timers_fired: u64,
+}
+
+/// The deterministic discrete-event network simulator.
+///
+/// # Examples
+///
+/// ```
+/// use escape_core::time::{Duration, Time};
+/// use escape_core::types::ServerId;
+/// use escape_simnet::latency::LatencyModel;
+/// use escape_simnet::loss::LossModel;
+/// use escape_simnet::sim::{Ready, Sim};
+///
+/// #[derive(Clone, Debug, PartialEq, Eq)]
+/// struct Ping(u32);
+/// impl escape_simnet::sim::SimMessage for Ping {}
+///
+/// let mut sim: Sim<Ping> = Sim::new(42, LatencyModel::Constant(Duration::from_millis(10)), LossModel::None);
+/// sim.send(ServerId::new(1), ServerId::new(2), Ping(7));
+/// match sim.step() {
+///     Some(Ready::Message { from, to, msg }) => {
+///         assert_eq!((from.get(), to.get(), msg.0), (1, 2, 7));
+///         assert_eq!(sim.now(), Time::from_millis(10));
+///     }
+///     other => panic!("expected a delivery, got {other:?}"),
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sim<M: SimMessage> {
+    now: Time,
+    queue: EventQueue<SimEvent<M>>,
+    latency: LatencyModel,
+    loss: LossModel,
+    partitions: PartitionMap,
+    rng: Xoshiro256,
+    crashed: BTreeSet<ServerId>,
+    incarnations: BTreeMap<ServerId, u64>,
+    trace: Trace,
+    stats: NetStats,
+}
+
+impl<M: SimMessage> Sim<M> {
+    /// Creates a simulator with the given seed and network models.
+    pub fn new(seed: u64, latency: LatencyModel, loss: LossModel) -> Self {
+        Sim {
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            latency,
+            loss,
+            partitions: PartitionMap::new(),
+            rng: Xoshiro256::seed_from(seed),
+            crashed: BTreeSet::new(),
+            incarnations: BTreeMap::new(),
+            trace: Trace::disabled(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Turns on structured tracing (see [`Trace`]).
+    pub fn enable_tracing(&mut self) {
+        self.trace = Trace::enabled();
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Network counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The partition controls.
+    pub fn partitions_mut(&mut self) -> &mut PartitionMap {
+        &mut self.partitions
+    }
+
+    /// Replaces the loss model mid-run (e.g. inject loss only after the
+    /// cluster is settled).
+    pub fn set_loss(&mut self, loss: LossModel) {
+        self.loss = loss;
+    }
+
+    /// Replaces the latency model mid-run.
+    pub fn set_latency(&mut self, latency: LatencyModel) {
+        self.latency = latency;
+    }
+
+    /// The configured latency model.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Forks an independent RNG stream (for harness-side randomness that
+    /// must not perturb network draws).
+    pub fn fork_rng(&mut self, stream: u64) -> Xoshiro256 {
+        self.rng.fork(stream)
+    }
+
+    // ---- fault injection ----
+
+    /// `true` if `node` is currently crashed.
+    pub fn is_crashed(&self, node: ServerId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Crashes `node`: pending deliveries and timers die with it.
+    pub fn crash(&mut self, node: ServerId) {
+        if self.crashed.insert(node) {
+            self.trace.record(TraceEvent::Crashed {
+                at: self.now,
+                node,
+            });
+        }
+    }
+
+    /// Restarts `node` under a fresh incarnation; anything scheduled for a
+    /// previous life is silently discarded when popped.
+    pub fn restart(&mut self, node: ServerId) {
+        if self.crashed.remove(&node) {
+            *self.incarnations.entry(node).or_insert(0) += 1;
+            self.trace.record(TraceEvent::Restarted {
+                at: self.now,
+                node,
+            });
+        }
+    }
+
+    fn incarnation(&self, node: ServerId) -> u64 {
+        self.incarnations.get(&node).copied().unwrap_or(0)
+    }
+
+    // ---- scheduling ----
+
+    /// Sends a unicast message, subject to latency, loss and partitions.
+    pub fn send(&mut self, from: ServerId, to: ServerId, msg: M) {
+        self.stats.sent += 1;
+        if !self.partitions.connected(from, to) {
+            self.stats.dropped_partition += 1;
+            self.trace.record(TraceEvent::Dropped {
+                at: self.now,
+                from,
+                to,
+                cause: DropCause::Partition,
+            });
+            return;
+        }
+        if !self.loss.unicast_survives(&mut self.rng) {
+            self.stats.dropped_loss += 1;
+            self.trace.record(TraceEvent::Dropped {
+                at: self.now,
+                from,
+                to,
+                cause: DropCause::Loss,
+            });
+            return;
+        }
+        self.enqueue_delivery(from, to, msg);
+    }
+
+    /// Sends one logical broadcast: the loss model omits receivers at the
+    /// fan-out granularity (§VI-D), then each surviving copy is delayed and
+    /// partition-checked independently.
+    pub fn send_broadcast(&mut self, from: ServerId, fanout: Vec<(ServerId, M)>) {
+        let omitted = self.loss.broadcast_omissions(fanout.len(), &mut self.rng);
+        for (position, (to, msg)) in fanout.into_iter().enumerate() {
+            self.stats.sent += 1;
+            if omitted.contains(&position) {
+                self.stats.dropped_loss += 1;
+                self.trace.record(TraceEvent::Dropped {
+                    at: self.now,
+                    from,
+                    to,
+                    cause: DropCause::Loss,
+                });
+                continue;
+            }
+            if !self.partitions.connected(from, to) {
+                self.stats.dropped_partition += 1;
+                self.trace.record(TraceEvent::Dropped {
+                    at: self.now,
+                    from,
+                    to,
+                    cause: DropCause::Partition,
+                });
+                continue;
+            }
+            self.enqueue_delivery(from, to, msg);
+        }
+    }
+
+    fn enqueue_delivery(&mut self, from: ServerId, to: ServerId, msg: M) {
+        let delay = self.latency.sample(from, to, &mut self.rng);
+        let incarnation = self.incarnation(to);
+        self.queue.push(
+            self.now + delay,
+            SimEvent::Deliver {
+                from,
+                to,
+                msg,
+                incarnation,
+            },
+        );
+    }
+
+    /// Arms a timer for `node`; the opaque `token` comes back in
+    /// [`Ready::Timer`]. Timers die with the node's incarnation.
+    pub fn set_timer(&mut self, node: ServerId, token: u64, deadline: Time) {
+        let incarnation = self.incarnation(node);
+        self.queue.push(
+            deadline,
+            SimEvent::Timer {
+                node,
+                token,
+                incarnation,
+            },
+        );
+    }
+
+    /// Schedules a control point (fault scripts, measurements) at `at`.
+    pub fn schedule_control(&mut self, at: Time, tag: u64) {
+        self.queue.push(at, SimEvent::Control { tag });
+    }
+
+    // ---- the pump ----
+
+    /// Advances to the next relevant event and returns it, or `None` when
+    /// the simulation has quiesced. The virtual clock never moves backwards.
+    pub fn step(&mut self) -> Option<Ready<M>> {
+        loop {
+            let (at, event) = self.queue.pop()?;
+            debug_assert!(at >= self.now, "time ran backwards");
+            self.now = at;
+            match event {
+                SimEvent::Deliver {
+                    from,
+                    to,
+                    msg,
+                    incarnation,
+                } => {
+                    if self.crashed.contains(&to) {
+                        self.stats.dropped_crashed += 1;
+                        self.trace.record(TraceEvent::Dropped {
+                            at,
+                            from,
+                            to,
+                            cause: DropCause::TargetCrashed,
+                        });
+                        continue;
+                    }
+                    if incarnation != self.incarnation(to) {
+                        self.stats.dropped_crashed += 1;
+                        self.trace.record(TraceEvent::Dropped {
+                            at,
+                            from,
+                            to,
+                            cause: DropCause::StaleIncarnation,
+                        });
+                        continue;
+                    }
+                    self.stats.delivered += 1;
+                    self.trace.record(TraceEvent::Delivered {
+                        at,
+                        from,
+                        to,
+                        what: msg.kind_name(),
+                    });
+                    return Some(Ready::Message { from, to, msg });
+                }
+                SimEvent::Timer {
+                    node,
+                    token,
+                    incarnation,
+                } => {
+                    if self.crashed.contains(&node) || incarnation != self.incarnation(node) {
+                        continue;
+                    }
+                    self.stats.timers_fired += 1;
+                    return Some(Ready::Timer { node, token });
+                }
+                SimEvent::Control { tag } => return Some(Ready::Control { tag }),
+            }
+        }
+    }
+
+    /// Like [`Sim::step`], but refuses to cross `deadline`: events at or
+    /// after it stay queued and `None` is returned (with the clock advanced
+    /// to `deadline`).
+    pub fn step_before(&mut self, deadline: Time) -> Option<Ready<M>> {
+        match self.queue.peek_time() {
+            Some(t) if t < deadline => self.step(),
+            _ => {
+                self.now = self.now.max(deadline);
+                None
+            }
+        }
+    }
+
+    /// Number of queued (not yet filtered) events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Advances the clock with no event (idle waiting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is in the past.
+    pub fn advance_to(&mut self, to: Time) {
+        assert!(to >= self.now, "cannot rewind the clock");
+        self.now = to;
+    }
+
+    /// A convenience horizon: now plus the worst-case latency, useful for
+    /// "let in-flight traffic settle" loops.
+    pub fn settle_horizon(&self) -> Time {
+        self.now + self.latency.max_latency() + Duration::from_millis(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Ping(u32);
+    impl SimMessage for Ping {}
+
+    fn sim(seed: u64) -> Sim<Ping> {
+        Sim::new(
+            seed,
+            LatencyModel::Constant(Duration::from_millis(10)),
+            LossModel::None,
+        )
+    }
+
+    fn s(id: u32) -> ServerId {
+        ServerId::new(id)
+    }
+
+    #[test]
+    fn messages_arrive_after_latency_in_order() {
+        let mut sim = sim(1);
+        sim.send(s(1), s(2), Ping(1));
+        sim.advance_to(Time::from_millis(5));
+        sim.send(s(1), s(2), Ping(2));
+        assert_eq!(
+            sim.step(),
+            Some(Ready::Message {
+                from: s(1),
+                to: s(2),
+                msg: Ping(1)
+            })
+        );
+        assert_eq!(sim.now(), Time::from_millis(10));
+        assert_eq!(
+            sim.step(),
+            Some(Ready::Message {
+                from: s(1),
+                to: s(2),
+                msg: Ping(2)
+            })
+        );
+        assert_eq!(sim.now(), Time::from_millis(15));
+        assert_eq!(sim.step(), None);
+    }
+
+    #[test]
+    fn crashed_target_swallows_messages() {
+        let mut sim = sim(2);
+        sim.enable_tracing();
+        sim.crash(s(2));
+        sim.send(s(1), s(2), Ping(1));
+        assert_eq!(sim.step(), None);
+        assert_eq!(sim.stats().dropped_crashed, 1);
+        assert_eq!(sim.trace().drops_by_cause(DropCause::TargetCrashed), 1);
+    }
+
+    #[test]
+    fn restart_invalidates_in_flight_messages_and_timers() {
+        let mut sim = sim(3);
+        sim.send(s(1), s(2), Ping(1));
+        sim.set_timer(s(2), 77, Time::from_millis(20));
+        sim.crash(s(2));
+        sim.restart(s(2));
+        // Both the in-flight message and the timer belong to incarnation 0.
+        assert_eq!(sim.step(), None);
+        // New-incarnation traffic flows.
+        sim.send(s(1), s(2), Ping(2));
+        assert!(matches!(sim.step(), Some(Ready::Message { msg: Ping(2), .. })));
+    }
+
+    #[test]
+    fn timers_fire_at_their_deadline() {
+        let mut sim = sim(4);
+        sim.set_timer(s(3), 9, Time::from_millis(100));
+        assert_eq!(
+            sim.step(),
+            Some(Ready::Timer {
+                node: s(3),
+                token: 9
+            })
+        );
+        assert_eq!(sim.now(), Time::from_millis(100));
+        assert_eq!(sim.stats().timers_fired, 1);
+    }
+
+    #[test]
+    fn partition_blocks_at_send_time() {
+        let mut sim = sim(5);
+        sim.partitions_mut().split(&[vec![s(1)], vec![s(2)]]);
+        sim.send(s(1), s(2), Ping(1));
+        assert_eq!(sim.step(), None);
+        assert_eq!(sim.stats().dropped_partition, 1);
+        // Healing lets *new* messages through.
+        sim.partitions_mut().heal();
+        sim.send(s(1), s(2), Ping(2));
+        assert!(matches!(sim.step(), Some(Ready::Message { .. })));
+    }
+
+    #[test]
+    fn broadcast_omission_drops_exact_fraction() {
+        let mut sim: Sim<Ping> = Sim::new(
+            6,
+            LatencyModel::Constant(Duration::from_millis(1)),
+            LossModel::BroadcastOmission(0.25),
+        );
+        let fanout: Vec<(ServerId, Ping)> = (2..=9).map(|i| (s(i), Ping(i))).collect();
+        sim.send_broadcast(s(1), fanout);
+        let mut delivered = 0;
+        while sim.step().is_some() {
+            delivered += 1;
+        }
+        // 8 receivers, round(0.25·8) = 2 omitted.
+        assert_eq!(delivered, 6);
+        assert_eq!(sim.stats().dropped_loss, 2);
+    }
+
+    #[test]
+    fn control_events_interleave_with_traffic() {
+        let mut sim = sim(7);
+        sim.send(s(1), s(2), Ping(1)); // arrives at 10ms
+        sim.schedule_control(Time::from_millis(5), 42);
+        assert_eq!(sim.step(), Some(Ready::Control { tag: 42 }));
+        assert_eq!(sim.now(), Time::from_millis(5));
+        assert!(matches!(sim.step(), Some(Ready::Message { .. })));
+    }
+
+    #[test]
+    fn step_before_respects_the_deadline() {
+        let mut sim = sim(8);
+        sim.send(s(1), s(2), Ping(1)); // arrives at 10ms
+        assert_eq!(sim.step_before(Time::from_millis(10)), None);
+        assert_eq!(sim.now(), Time::from_millis(10));
+        assert!(matches!(
+            sim.step_before(Time::from_millis(11)),
+            Some(Ready::Message { .. })
+        ));
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_runs() {
+        let run = |seed: u64| {
+            let mut sim: Sim<Ping> = Sim::new(
+                seed,
+                LatencyModel::Uniform {
+                    min: Duration::from_millis(5),
+                    max: Duration::from_millis(50),
+                },
+                LossModel::Bernoulli(0.2),
+            );
+            for i in 1..=20 {
+                sim.send(s(1 + i % 3), s(1 + (i + 1) % 3), Ping(i));
+            }
+            let mut log = Vec::new();
+            while let Some(ev) = sim.step() {
+                log.push(format!("{:?}@{}", ev, sim.now()));
+            }
+            log
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "rewind")]
+    fn clock_cannot_rewind() {
+        let mut sim = sim(9);
+        sim.advance_to(Time::from_millis(10));
+        sim.advance_to(Time::from_millis(5));
+    }
+
+    #[test]
+    fn stats_count_deliveries() {
+        let mut sim = sim(10);
+        sim.send(s(1), s(2), Ping(1));
+        sim.send(s(2), s(1), Ping(2));
+        while sim.step().is_some() {}
+        let st = sim.stats();
+        assert_eq!(st.sent, 2);
+        assert_eq!(st.delivered, 2);
+        assert_eq!(st.dropped_loss + st.dropped_partition + st.dropped_crashed, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Structured simulation traces.
+//!
+//! When enabled, the simulator records every network-level decision
+//! (delivery, drop and its cause, crash, restart) with its virtual
+//! timestamp. Tests assert on traces; experiment debugging reads them.
+
+use escape_core::time::Time;
+use escape_core::types::ServerId;
+
+/// Why a message never arrived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropCause {
+    /// The loss model ate it.
+    Loss,
+    /// Source and destination were partitioned.
+    Partition,
+    /// The destination was crashed at delivery time.
+    TargetCrashed,
+    /// The destination restarted after the message was sent (stale
+    /// incarnation).
+    StaleIncarnation,
+}
+
+/// One traced simulation event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was handed to its destination.
+    Delivered {
+        /// Virtual delivery time.
+        at: Time,
+        /// Sender.
+        from: ServerId,
+        /// Receiver.
+        to: ServerId,
+        /// Short message description (kind).
+        what: &'static str,
+    },
+    /// A message was dropped.
+    Dropped {
+        /// Virtual time of the drop decision.
+        at: Time,
+        /// Sender.
+        from: ServerId,
+        /// Intended receiver.
+        to: ServerId,
+        /// Why it was dropped.
+        cause: DropCause,
+    },
+    /// A server crashed.
+    Crashed {
+        /// When.
+        at: Time,
+        /// Which server.
+        node: ServerId,
+    },
+    /// A server restarted.
+    Restarted {
+        /// When.
+        at: Time,
+        /// Which server.
+        node: ServerId,
+    },
+}
+
+/// An append-only trace buffer with an on/off switch.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// A disabled trace (zero overhead beyond the branch).
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// An enabled trace.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Records an event if tracing is on.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// All recorded events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Count of drops with the given cause.
+    pub fn drops_by_cause(&self, cause: DropCause) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Dropped { cause: c, .. } if *c == cause))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(TraceEvent::Crashed {
+            at: Time::ZERO,
+            node: ServerId::new(1),
+        });
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_keeps_order_and_counts() {
+        let mut t = Trace::enabled();
+        t.record(TraceEvent::Dropped {
+            at: Time::ZERO,
+            from: ServerId::new(1),
+            to: ServerId::new(2),
+            cause: DropCause::Loss,
+        });
+        t.record(TraceEvent::Dropped {
+            at: Time::from_millis(1),
+            from: ServerId::new(1),
+            to: ServerId::new(3),
+            cause: DropCause::Partition,
+        });
+        t.record(TraceEvent::Delivered {
+            at: Time::from_millis(2),
+            from: ServerId::new(2),
+            to: ServerId::new(1),
+            what: "AppendEntries",
+        });
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.drops_by_cause(DropCause::Loss), 1);
+        assert_eq!(t.drops_by_cause(DropCause::Partition), 1);
+        assert_eq!(t.drops_by_cause(DropCause::TargetCrashed), 0);
+    }
+}

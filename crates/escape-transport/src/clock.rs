@@ -1,0 +1,64 @@
+//! Wall-clock to logical-time mapping.
+//!
+//! The engine speaks [`Time`] (microseconds from an epoch); a real-time
+//! runtime anchors that epoch at start-up and reads a monotonic clock.
+
+use std::time::Instant;
+
+use escape_core::time::Time;
+
+/// Maps [`Instant`]s onto the engine's logical timeline.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeClock {
+    epoch: Instant,
+}
+
+impl RuntimeClock {
+    /// Anchors the epoch at "now".
+    pub fn start() -> Self {
+        RuntimeClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The current logical time.
+    pub fn now(&self) -> Time {
+        Time::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Converts a logical deadline into a wait from "now", `None` if the
+    /// deadline already passed.
+    pub fn until(&self, deadline: Time) -> Option<std::time::Duration> {
+        let now = self.now();
+        if deadline <= now {
+            return None;
+        }
+        Some(std::time::Duration::from_micros(
+            (deadline - now).as_micros(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let clock = RuntimeClock::start();
+        let a = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = clock.now();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn until_handles_past_deadlines() {
+        let clock = RuntimeClock::start();
+        assert_eq!(clock.until(Time::ZERO), None);
+        let future = clock.now() + escape_core::time::Duration::from_secs(1);
+        let wait = clock.until(future).expect("future deadline");
+        assert!(wait <= std::time::Duration::from_secs(1));
+        assert!(wait > std::time::Duration::from_millis(900));
+    }
+}

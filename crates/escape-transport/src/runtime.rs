@@ -1,0 +1,339 @@
+//! The real-time node loop shared by every transport.
+//!
+//! One OS thread per consensus node: it multiplexes an inbox channel
+//! (peer messages + client commands + control) with the engine's armed
+//! timers via `recv_timeout`, and pushes outbound messages through an
+//! [`Outbound`] implementation (channel mesh, TCP mesh, …).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use escape_core::engine::{Action, Node, ProposeError, TimerKind, TimerToken};
+use escape_core::message::Message;
+use escape_core::time::Time;
+use escape_core::types::{LogIndex, Role, ServerId, Term};
+
+use crate::clock::RuntimeClock;
+
+/// Sends messages to peers on behalf of a node.
+pub trait Outbound: Send + 'static {
+    /// Best-effort delivery of `msg` to `to` (errors are the network's
+    /// problem; the protocol tolerates loss).
+    fn send(&self, to: ServerId, msg: Message);
+}
+
+/// A snapshot of a node's externally visible state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeStatus {
+    /// The node.
+    pub id: ServerId,
+    /// Role right now.
+    pub role: Role,
+    /// Current term.
+    pub term: Term,
+    /// Last known leader.
+    pub leader_hint: Option<ServerId>,
+    /// Commit index.
+    pub commit_index: LogIndex,
+    /// Applied index.
+    pub last_applied: LogIndex,
+    /// Log length.
+    pub log_len: usize,
+}
+
+/// Everything a node thread can receive.
+pub enum NodeInput {
+    /// A protocol message from a peer.
+    Peer(ServerId, Message),
+    /// A client command; the reply carries the assigned index or the
+    /// refusal.
+    Propose {
+        /// Encoded state-machine command.
+        command: Bytes,
+        /// Where to send the outcome.
+        reply: Sender<Result<LogIndex, ProposeError>>,
+    },
+    /// Ask for a status snapshot.
+    Query {
+        /// Where to send the snapshot.
+        reply: Sender<NodeStatus>,
+    },
+    /// Register interest in the application of `index`; the reply fires
+    /// with the state machine's response once applied.
+    AwaitApplied {
+        /// The awaited log index.
+        index: LogIndex,
+        /// Where to send the apply result.
+        reply: Sender<Bytes>,
+    },
+    /// Simulated crash: drop all input and timers until `Resume`.
+    Pause,
+    /// Recover from `Pause` (the engine's volatile state resets, persistent
+    /// state survives — same semantics as the simulator's restart).
+    Resume,
+    /// Stop the thread.
+    Shutdown,
+}
+
+/// Runs a node until shutdown. This is the body of every transport's
+/// per-node thread.
+pub fn node_loop(
+    mut node: Node,
+    inbox: Receiver<NodeInput>,
+    outbound: Arc<dyn Outbound + Sync>,
+    clock: RuntimeClock,
+) {
+    let mut timers: BTreeMap<TimerKind, (TimerToken, Time)> = BTreeMap::new();
+    let mut apply_waiters: HashMap<LogIndex, Vec<Sender<Bytes>>> = HashMap::new();
+    // Recent apply results, so a client that registers interest just after
+    // the apply still gets its response (bounded window).
+    let mut recent_results: BTreeMap<LogIndex, Bytes> = BTreeMap::new();
+    let mut paused = false;
+
+    let actions = node.start(clock.now());
+    absorb(
+        &mut node,
+        actions,
+        &mut timers,
+        &mut apply_waiters,
+        &mut recent_results,
+        &outbound,
+    );
+
+    loop {
+        // Wait for the earliest timer or the next input, whichever first.
+        let next_deadline = timers.values().map(|(_, d)| *d).min();
+        let wait = match next_deadline {
+            Some(deadline) if !paused => clock
+                .until(deadline)
+                .unwrap_or(std::time::Duration::ZERO),
+            // Paused nodes and idle nodes just park on the inbox.
+            _ => std::time::Duration::from_millis(50),
+        };
+
+        match inbox.recv_timeout(wait) {
+            Ok(NodeInput::Shutdown) => return,
+            Ok(NodeInput::Pause) => {
+                paused = true;
+                timers.clear();
+                apply_waiters.clear();
+            }
+            Ok(NodeInput::Resume) => {
+                if paused {
+                    paused = false;
+                    let actions = node.restart(clock.now());
+                    absorb(
+                    &mut node,
+                    actions,
+                    &mut timers,
+                    &mut apply_waiters,
+                    &mut recent_results,
+                    &outbound,
+                );
+                }
+            }
+            Ok(NodeInput::Peer(from, msg)) => {
+                if !paused {
+                    let actions = node.handle_message(from, msg, clock.now());
+                    absorb(
+                    &mut node,
+                    actions,
+                    &mut timers,
+                    &mut apply_waiters,
+                    &mut recent_results,
+                    &outbound,
+                );
+                }
+            }
+            Ok(NodeInput::Propose { command, reply }) => {
+                if paused {
+                    let _ = reply.send(Err(ProposeError::NotLeader { hint: None }));
+                } else {
+                    match node.propose(command, clock.now()) {
+                        Ok((index, actions)) => {
+                            let _ = reply.send(Ok(index));
+                            absorb(
+                                &mut node,
+                                actions,
+                                &mut timers,
+                                &mut apply_waiters,
+                                &mut recent_results,
+                                &outbound,
+                            );
+                        }
+                        Err(e) => {
+                            let _ = reply.send(Err(e));
+                        }
+                    }
+                }
+            }
+            Ok(NodeInput::Query { reply }) => {
+                let _ = reply.send(NodeStatus {
+                    id: node.id(),
+                    role: if paused { Role::Follower } else { node.role() },
+                    term: node.current_term(),
+                    leader_hint: node.leader_hint(),
+                    commit_index: node.commit_index(),
+                    last_applied: node.last_applied(),
+                    log_len: node.log().len(),
+                });
+            }
+            Ok(NodeInput::AwaitApplied { index, reply }) => {
+                if node.last_applied() >= index {
+                    // Already applied: serve from the recent-results window
+                    // (empty payload if it aged out or was a no-op slot).
+                    let result = recent_results.get(&index).cloned().unwrap_or_default();
+                    let _ = reply.send(result);
+                } else {
+                    apply_waiters.entry(index).or_default().push(reply);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if paused {
+                    continue;
+                }
+                let now = clock.now();
+                // Fire every timer whose deadline has passed.
+                let due: Vec<(TimerKind, TimerToken)> = timers
+                    .iter()
+                    .filter(|(_, (_, d))| *d <= now)
+                    .map(|(k, (t, _))| (*k, *t))
+                    .collect();
+                for (kind, token) in due {
+                    timers.remove(&kind);
+                    let actions = node.handle_timer(token, clock.now());
+                    absorb(
+                    &mut node,
+                    actions,
+                    &mut timers,
+                    &mut apply_waiters,
+                    &mut recent_results,
+                    &outbound,
+                );
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// How many apply results the node loop keeps for late [`NodeInput::AwaitApplied`]
+/// registrations.
+const RESULT_WINDOW: usize = 1024;
+
+fn absorb(
+    node: &mut Node,
+    actions: Vec<Action>,
+    timers: &mut BTreeMap<TimerKind, (TimerToken, Time)>,
+    apply_waiters: &mut HashMap<LogIndex, Vec<Sender<Bytes>>>,
+    recent_results: &mut BTreeMap<LogIndex, Bytes>,
+    outbound: &Arc<dyn Outbound + Sync>,
+) {
+    let _ = node;
+    for action in actions {
+        match action {
+            Action::Send { to, msg, .. } => outbound.send(to, msg),
+            Action::SetTimer { token, deadline } => {
+                timers.insert(token.kind, (token, deadline));
+            }
+            Action::Applied { index, result } => {
+                if let Some(waiters) = apply_waiters.remove(&index) {
+                    for w in waiters {
+                        let _ = w.send(result.clone());
+                    }
+                }
+                recent_results.insert(index, result);
+                while recent_results.len() > RESULT_WINDOW {
+                    let oldest = *recent_results.keys().next().expect("non-empty");
+                    recent_results.remove(&oldest);
+                }
+            }
+            Action::BecameCandidate { .. }
+            | Action::BecameLeader { .. }
+            | Action::BecameFollower { .. }
+            | Action::Committed { .. } => {}
+        }
+    }
+}
+
+/// A thread-safe registry of node inboxes — the "switchboard" transports
+/// route through.
+#[derive(Clone, Default)]
+pub struct Switchboard {
+    inner: Arc<Mutex<HashMap<ServerId, Sender<NodeInput>>>>,
+}
+
+impl Switchboard {
+    /// An empty switchboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `id`'s inbox.
+    pub fn register(&self, id: ServerId, sender: Sender<NodeInput>) {
+        self.inner.lock().insert(id, sender);
+    }
+
+    /// The inbox for `id`, if registered.
+    pub fn lookup(&self, id: ServerId) -> Option<Sender<NodeInput>> {
+        self.inner.lock().get(&id).cloned()
+    }
+
+    /// All registered ids.
+    pub fn ids(&self) -> Vec<ServerId> {
+        self.inner.lock().keys().copied().collect()
+    }
+}
+
+impl std::fmt::Debug for Switchboard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Switchboard")
+            .field("nodes", &self.inner.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switchboard_registers_and_looks_up() {
+        let board = Switchboard::new();
+        assert!(board.lookup(ServerId::new(1)).is_none());
+        let (tx, rx) = crossbeam::channel::unbounded();
+        board.register(ServerId::new(1), tx);
+        let found = board.lookup(ServerId::new(1)).expect("registered");
+        found.send(NodeInput::Pause).unwrap();
+        assert!(matches!(rx.recv().unwrap(), NodeInput::Pause));
+        assert_eq!(board.ids(), vec![ServerId::new(1)]);
+    }
+
+    #[test]
+    fn switchboard_clones_share_state() {
+        let board = Switchboard::new();
+        let clone = board.clone();
+        let (tx, _rx) = crossbeam::channel::unbounded();
+        clone.register(ServerId::new(7), tx);
+        assert!(board.lookup(ServerId::new(7)).is_some());
+        assert!(format!("{board:?}").contains("nodes"));
+    }
+
+    #[test]
+    fn node_status_is_comparable() {
+        let a = NodeStatus {
+            id: ServerId::new(1),
+            role: Role::Follower,
+            term: Term::ZERO,
+            leader_hint: None,
+            commit_index: LogIndex::ZERO,
+            last_applied: LogIndex::ZERO,
+            log_len: 0,
+        };
+        assert_eq!(a.clone(), a);
+    }
+}

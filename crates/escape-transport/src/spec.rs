@@ -1,0 +1,122 @@
+//! Cluster specification for real-time deployments.
+
+use escape_core::config::EscapeParams;
+use escape_core::engine::Options;
+use escape_core::policy::{ElectionPolicy, EscapePolicy, RaftPolicy, ZRaftPolicy};
+use escape_core::time::Duration;
+use escape_core::types::ServerId;
+
+/// Which election protocol a real-time cluster runs, with timings scaled
+/// for the deployment (LAN timings differ from the paper's simulated WAN).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolSpec {
+    /// Stock Raft, timeouts uniform in `[min, max)`.
+    Raft {
+        /// Minimum election timeout.
+        timeout_min: Duration,
+        /// Maximum election timeout (exclusive).
+        timeout_max: Duration,
+    },
+    /// Z-Raft: static server-id priorities.
+    ZRaft {
+        /// Eq. 1 `baseTime`.
+        base_time: Duration,
+        /// Eq. 1 `k`.
+        spacing: Duration,
+    },
+    /// ESCAPE: SCA + PPF.
+    Escape {
+        /// Eq. 1 `baseTime`.
+        base_time: Duration,
+        /// Eq. 1 `k`.
+        spacing: Duration,
+    },
+}
+
+impl ProtocolSpec {
+    /// ESCAPE sized for in-process / loopback latencies: `baseTime` 150 ms,
+    /// `k` 50 ms.
+    pub fn escape_local() -> Self {
+        ProtocolSpec::Escape {
+            base_time: Duration::from_millis(150),
+            spacing: Duration::from_millis(50),
+        }
+    }
+
+    /// Raft sized for in-process / loopback latencies: 150–300 ms.
+    pub fn raft_local() -> Self {
+        ProtocolSpec::Raft {
+            timeout_min: Duration::from_millis(150),
+            timeout_max: Duration::from_millis(300),
+        }
+    }
+
+    /// Builds the policy for one node.
+    pub fn build_policy(&self, id: ServerId, n: usize, seed: u64) -> Box<dyn ElectionPolicy> {
+        match *self {
+            ProtocolSpec::Raft {
+                timeout_min,
+                timeout_max,
+            } => Box::new(RaftPolicy::randomized(timeout_min, timeout_max, seed)),
+            ProtocolSpec::ZRaft { base_time, spacing } => {
+                let params = EscapeParams::builder(n)
+                    .base_time(base_time)
+                    .spacing(spacing)
+                    .build();
+                Box::new(ZRaftPolicy::new(id, params))
+            }
+            ProtocolSpec::Escape { base_time, spacing } => {
+                let params = EscapeParams::builder(n)
+                    .base_time(base_time)
+                    .spacing(spacing)
+                    .build();
+                Box::new(EscapePolicy::new(id, params))
+            }
+        }
+    }
+
+    /// Engine options matched to local timings (50 ms heartbeats).
+    pub fn local_options() -> Options {
+        Options {
+            heartbeat_interval: Duration::from_millis(50),
+            ..Options::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_specs_have_sane_ratios() {
+        // Heartbeat must sit well below the shortest election timeout.
+        let hb = ProtocolSpec::local_options().heartbeat_interval;
+        match ProtocolSpec::escape_local() {
+            ProtocolSpec::Escape { base_time, .. } => assert!(hb * 3 <= base_time),
+            _ => unreachable!(),
+        }
+        match ProtocolSpec::raft_local() {
+            ProtocolSpec::Raft { timeout_min, .. } => assert!(hb * 3 <= timeout_min),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn builds_every_policy_kind() {
+        let id = ServerId::new(2);
+        assert_eq!(
+            ProtocolSpec::raft_local().build_policy(id, 3, 1).name(),
+            "raft"
+        );
+        assert_eq!(
+            ProtocolSpec::escape_local().build_policy(id, 3, 1).name(),
+            "escape"
+        );
+        let z = ProtocolSpec::ZRaft {
+            base_time: Duration::from_millis(150),
+            spacing: Duration::from_millis(50),
+        };
+        assert_eq!(z.build_policy(id, 3, 1).name(), "zraft");
+    }
+}

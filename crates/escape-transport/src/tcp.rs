@@ -1,0 +1,288 @@
+//! TCP transport: a full mesh of length-prefixed framed connections using
+//! the `escape-wire` codec.
+//!
+//! Each node owns a listener; inbound connections get a reader thread that
+//! parses frames into [`Envelope`]s and forwards them to the node loop.
+//! Outbound connections are opened lazily per peer and dropped on error
+//! (the next send reconnects) — message loss during reconnection is just
+//! network loss to the protocol.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+use escape_core::engine::Node;
+use escape_core::message::Message;
+use escape_core::statemachine::StateMachine;
+use escape_core::types::ServerId;
+use escape_wire::{write_frame, Decode, Encode, Envelope, FrameReader};
+
+use crate::clock::RuntimeClock;
+use crate::runtime::{node_loop, NodeInput, Outbound};
+use crate::spec::ProtocolSpec;
+
+/// Lazily connected, mutex-guarded outbound links.
+struct TcpOutbound {
+    from: ServerId,
+    addrs: HashMap<ServerId, SocketAddr>,
+    links: Mutex<HashMap<ServerId, TcpStream>>,
+}
+
+impl TcpOutbound {
+    fn connection(&self, to: ServerId) -> Option<TcpStream> {
+        let mut links = self.links.lock();
+        if let Some(stream) = links.get(&to) {
+            if let Ok(clone) = stream.try_clone() {
+                return Some(clone);
+            }
+            links.remove(&to);
+        }
+        let addr = self.addrs.get(&to)?;
+        let stream = TcpStream::connect_timeout(addr, std::time::Duration::from_millis(250)).ok()?;
+        stream.set_nodelay(true).ok();
+        let clone = stream.try_clone().ok()?;
+        links.insert(to, stream);
+        Some(clone)
+    }
+}
+
+impl Outbound for TcpOutbound {
+    fn send(&self, to: ServerId, msg: Message) {
+        let Some(mut stream) = self.connection(to) else {
+            return; // unreachable peer == lost message
+        };
+        let envelope = Envelope {
+            from: self.from,
+            message: msg,
+        };
+        let mut frame = BytesMut::new();
+        write_frame(&mut frame, &envelope.to_bytes());
+        if stream.write_all(&frame).is_err() {
+            // Drop the broken link; the next send reconnects.
+            self.links.lock().remove(&to);
+        }
+    }
+}
+
+/// One TCP consensus node: its listener, reader threads, and node loop.
+#[derive(Debug)]
+pub struct TcpNode {
+    id: ServerId,
+    inbox: Sender<NodeInput>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl TcpNode {
+    /// Boots server `id` of a cluster whose listen addresses are `addrs`
+    /// (every node must appear, including `id` itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` lacks `id` or the listener cannot bind.
+    pub fn spawn(
+        id: ServerId,
+        addrs: HashMap<ServerId, SocketAddr>,
+        spec: ProtocolSpec,
+        seed: u64,
+        state_machine: Box<dyn StateMachine>,
+    ) -> Self {
+        let my_addr = *addrs.get(&id).expect("own address present");
+        let listener = TcpListener::bind(my_addr).expect("bind listener");
+        let ids: Vec<ServerId> = {
+            let mut v: Vec<ServerId> = addrs.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let n = ids.len();
+
+        let (tx, rx) = unbounded::<NodeInput>();
+        let mut threads = Vec::new();
+
+        // Acceptor: one reader thread per inbound connection.
+        {
+            let tx = tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("escape-tcp-accept-{}", id.get()))
+                    .spawn(move || {
+                        for stream in listener.incoming() {
+                            let Ok(stream) = stream else { break };
+                            stream.set_nodelay(true).ok();
+                            let tx = tx.clone();
+                            // Reader threads exit when the peer disconnects
+                            // or the inbox closes.
+                            std::thread::spawn(move || read_loop(stream, tx));
+                        }
+                    })
+                    .expect("spawn acceptor"),
+            );
+        }
+
+        let node = Node::builder(id, ids)
+            .policy(spec.build_policy(id, n, seed.wrapping_add(id.get() as u64)))
+            .state_machine(state_machine)
+            .options(ProtocolSpec::local_options())
+            .build();
+        let outbound: Arc<dyn Outbound + Sync> = Arc::new(TcpOutbound {
+            from: id,
+            addrs,
+            links: Mutex::new(HashMap::new()),
+        });
+        let clock = RuntimeClock::start();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("escape-tcp-node-{}", id.get()))
+                .spawn(move || node_loop(node, rx, outbound, clock))
+                .expect("spawn node loop"),
+        );
+
+        TcpNode {
+            id,
+            inbox: tx,
+            threads,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The node's input channel (peer messages, proposals, queries).
+    pub fn inbox(&self) -> Sender<NodeInput> {
+        self.inbox.clone()
+    }
+
+    /// Requests shutdown; the acceptor thread is detached by dropping its
+    /// listener-side connections (process exit cleans up the rest).
+    pub fn shutdown(self) {
+        let _ = self.inbox.send(NodeInput::Shutdown);
+        // Join only the node loop (last handle); the acceptor blocks in
+        // `incoming()` and is reclaimed at process exit.
+        if let Some(handle) = self.threads.into_iter().last() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn read_loop(mut stream: TcpStream, tx: Sender<NodeInput>) {
+    let mut reader = FrameReader::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        reader.extend(&chunk[..n]);
+        loop {
+            match reader.next_frame() {
+                Ok(Some(mut frame)) => match Envelope::decode(&mut frame) {
+                    Ok(envelope) => {
+                        if tx
+                            .send(NodeInput::Peer(envelope.from, envelope.message))
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Err(_) => return, // corrupt stream: drop the connection
+                },
+                Ok(None) => break,
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+/// Allocates `n` loopback addresses with OS-assigned free ports.
+pub fn loopback_addrs(n: usize) -> HashMap<ServerId, SocketAddr> {
+    (1..=n as u32)
+        .map(|i| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("probe free port");
+            let addr = listener.local_addr().expect("local addr");
+            // Listener drops here; the port is free for the node to bind.
+            (ServerId::new(i), addr)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::NodeStatus;
+    use bytes::Bytes;
+    use crossbeam::channel::bounded;
+    use escape_core::types::Role;
+
+    fn status_of(node: &TcpNode) -> Option<NodeStatus> {
+        let (tx, rx) = bounded(1);
+        node.inbox().send(NodeInput::Query { reply: tx }).ok()?;
+        rx.recv_timeout(std::time::Duration::from_secs(1)).ok()
+    }
+
+    #[test]
+    fn tcp_cluster_elects_and_commits() {
+        let addrs = loopback_addrs(3);
+        let nodes: Vec<TcpNode> = (1..=3u32)
+            .map(|i| {
+                TcpNode::spawn(
+                    ServerId::new(i),
+                    addrs.clone(),
+                    ProtocolSpec::escape_local(),
+                    99,
+                    Box::new(escape_core::statemachine::NullStateMachine),
+                )
+            })
+            .collect();
+
+        // Wait for a leader over real sockets.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let leader_index = loop {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no TCP leader within 10s"
+            );
+            if let Some(i) = nodes
+                .iter()
+                .position(|n| status_of(n).is_some_and(|s| s.role == Role::Leader))
+            {
+                break i;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        };
+
+        // Propose through the leader and wait for the commit to apply.
+        let (tx, rx) = bounded(1);
+        nodes[leader_index]
+            .inbox()
+            .send(NodeInput::Propose {
+                command: Bytes::from_static(b"over-tcp"),
+                reply: tx,
+            })
+            .unwrap();
+        let index = rx
+            .recv_timeout(std::time::Duration::from_secs(2))
+            .expect("reply")
+            .expect("accepted");
+        let (atx, arx) = bounded(1);
+        nodes[leader_index]
+            .inbox()
+            .send(NodeInput::AwaitApplied {
+                index,
+                reply: atx,
+            })
+            .unwrap();
+        arx.recv_timeout(std::time::Duration::from_secs(5))
+            .expect("applied over TCP");
+
+        for node in nodes {
+            node.shutdown();
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Codec error type.
+
+/// Why decoding failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// A varint encoded more than 64 bits.
+    VarintOverflow,
+    /// An unknown enum/message tag.
+    UnknownTag(u8),
+    /// A length prefix exceeded the sanity limit.
+    FrameTooLarge {
+        /// Declared frame length.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// A field held a value its type forbids (e.g. server id zero).
+    InvalidValue(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("buffer truncated mid-value"),
+            WireError::VarintOverflow => f.write_str("varint exceeds 64 bits"),
+            WireError::UnknownTag(t) => write!(f, "unknown tag {t:#04x}"),
+            WireError::FrameTooLarge { declared, limit } => {
+                write!(f, "frame of {declared} bytes exceeds limit {limit}")
+            }
+            WireError::InvalidValue(what) => write!(f, "invalid value for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        assert_eq!(WireError::Truncated.to_string(), "buffer truncated mid-value");
+        assert!(WireError::UnknownTag(0xFF).to_string().contains("0xff"));
+        assert!(WireError::FrameTooLarge {
+            declared: 10,
+            limit: 5
+        }
+        .to_string()
+        .contains("10"));
+        assert!(WireError::InvalidValue("server id").to_string().contains("server id"));
+    }
+}

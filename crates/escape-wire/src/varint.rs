@@ -1,0 +1,169 @@
+//! LEB128 variable-length integers and ZigZag signed mapping.
+//!
+//! The codec's primitive layer: protocol quantities (terms, indexes,
+//! priorities, clocks) are small most of the time, so varints keep
+//! heartbeats tiny on the wire.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::WireError;
+
+/// Maximum encoded size of a `u64` varint (⌈64/7⌉ bytes).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `value` as an LEB128 varint.
+pub fn put_uvarint(buf: &mut impl BufMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] if the buffer ends mid-varint;
+/// [`WireError::VarintOverflow`] if the encoding exceeds 64 bits.
+pub fn get_uvarint(buf: &mut impl Buf) -> Result<u64, WireError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(WireError::Truncated);
+        }
+        let byte = buf.get_u8();
+        if shift == 63 && byte > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(WireError::VarintOverflow);
+        }
+    }
+}
+
+/// Appends a signed value with ZigZag mapping (small magnitudes stay
+/// small).
+pub fn put_ivarint(buf: &mut impl BufMut, value: i64) {
+    put_uvarint(buf, zigzag_encode(value));
+}
+
+/// Reads a ZigZag-mapped signed varint.
+///
+/// # Errors
+///
+/// Same as [`get_uvarint`].
+pub fn get_ivarint(buf: &mut impl Buf) -> Result<i64, WireError> {
+    get_uvarint(buf).map(zigzag_decode)
+}
+
+/// ZigZag: interleaves positive/negative so small magnitudes encode short.
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// The number of bytes [`put_uvarint`] will write for `value`.
+pub fn uvarint_len(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn round_trip(value: u64) -> u64 {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, value);
+        assert_eq!(buf.len(), uvarint_len(value), "length prediction for {value}");
+        let mut slice = buf.freeze();
+        get_uvarint(&mut slice).unwrap()
+    }
+
+    #[test]
+    fn round_trips_edge_values() {
+        for value in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(round_trip(value), value);
+        }
+    }
+
+    #[test]
+    fn single_byte_for_small_values() {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 42);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0], 42);
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error() {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, u64::MAX);
+        let frozen = buf.freeze();
+        let mut partial = frozen.slice(0..5);
+        assert_eq!(get_uvarint(&mut partial), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn overlong_encoding_is_rejected() {
+        // Eleven continuation bytes can never be a valid u64.
+        let bytes = [0xFFu8; 11];
+        let mut buf = &bytes[..];
+        assert_eq!(get_uvarint(&mut buf), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_small() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        for v in [-1_000_000i64, -1, 0, 1, 7, i64::MIN, i64::MAX] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        let mut buf = BytesMut::new();
+        put_ivarint(&mut buf, -123_456);
+        let mut slice = buf.freeze();
+        assert_eq!(get_ivarint(&mut slice).unwrap(), -123_456);
+    }
+
+    #[test]
+    fn empty_buffer_is_truncated() {
+        let mut empty: &[u8] = &[];
+        assert_eq!(get_uvarint(&mut empty), Err(WireError::Truncated));
+    }
+}

@@ -1,0 +1,57 @@
+//! A miniature of the paper's Fig. 11: how message loss separates the
+//! three election designs.
+//!
+//! * **Raft** retries whole campaigns when solicitations are lost and
+//!   splits votes when candidates collide.
+//! * **Z-Raft** (static ZooKeeper-style priorities) avoids collisions but
+//!   cannot react when its top-priority server goes stale.
+//! * **ESCAPE** keeps re-homing the winning configuration onto whichever
+//!   follower is most up to date, so the first timeout is almost always
+//!   the right server.
+//!
+//! ```text
+//! cargo run --release --example message_loss_study
+//! ```
+
+use escape::cluster::experiments::loss::run_loss_sweep;
+
+fn main() {
+    let runs = 40;
+    let scale = 10;
+    let deltas = [0u32, 20, 40];
+    println!(
+        "cluster of {scale}, broadcast-omission loss, {runs} runs per point (paper: 1000)\n"
+    );
+
+    let points = run_loss_sweep(&["raft", "zraft", "escape"], &[scale], &deltas, runs, 42);
+
+    println!("protocol   Δ=0%      Δ=20%     Δ=40%     (mean election time)");
+    for proto in ["raft", "zraft", "escape"] {
+        let row: Vec<String> = deltas
+            .iter()
+            .map(|d| {
+                let p = points
+                    .iter()
+                    .find(|p| p.protocol == proto && p.delta_pct == *d)
+                    .expect("point");
+                format!("{:>8}", p.total.mean().to_string())
+            })
+            .collect();
+        println!("{proto:<8} {}", row.join("  "));
+    }
+
+    println!("\ncampaigns per election (1.0 = no repeats):");
+    for proto in ["raft", "zraft", "escape"] {
+        let row: Vec<String> = deltas
+            .iter()
+            .map(|d| {
+                let p = points
+                    .iter()
+                    .find(|p| p.protocol == proto && p.delta_pct == *d)
+                    .expect("point");
+                format!("{:>8.2}", p.mean_campaigns)
+            })
+            .collect();
+        println!("{proto:<8} {}", row.join("  "));
+    }
+}

@@ -1,0 +1,195 @@
+//! Log-compaction integration: a follower that sleeps through enough
+//! commits that the leader compacts its log can only catch up via
+//! `InstallSnapshot` — and must end with the same state-machine contents.
+
+use bytes::Bytes;
+
+use escape::cluster::{ClusterConfig, Protocol, SimCluster};
+use escape::core::engine::Options;
+use escape::core::time::Duration;
+use escape::core::types::LogIndex;
+use escape::kv::{KvCommand, KvStateMachine};
+
+/// Snapshot-enabled engine options: compact every 16 applied entries.
+fn snapshot_options() -> Options {
+    Options {
+        snapshot_threshold: Some(16),
+        ..Options::default()
+    }
+}
+
+fn put(i: usize) -> Bytes {
+    KvCommand::Put {
+        key: format!("key-{i}"),
+        value: Bytes::from(format!("value-{i}")),
+    }
+    .encode()
+}
+
+#[test]
+fn lagging_follower_catches_up_via_snapshot() {
+    // State machines must support snapshots for compaction to engage; the
+    // cluster harness builds Null SMs, so use a custom protocol config and
+    // verify at the protocol level (metrics + log shape + commit safety).
+    let mut config = ClusterConfig::paper_network(
+        3,
+        Protocol::escape_paper_default(),
+        77,
+    );
+    config.options = snapshot_options();
+    let mut cluster = SimCluster::new(config);
+    let leader = cluster.bootstrap(Duration::from_millis(1500));
+
+    // One follower sleeps through the whole workload.
+    let sleeper = cluster
+        .ids()
+        .into_iter()
+        .find(|i| *i != leader)
+        .expect("a follower");
+    cluster.crash(sleeper);
+
+    // Null SMs report no snapshot data, so with the stock harness the log
+    // must NOT compact (the engine refuses to discard entries it cannot
+    // regenerate) — the sleeper can still catch up entry by entry.
+    for i in 0..60 {
+        cluster.propose(put(i)).expect("leader accepts");
+        cluster.run_for(Duration::from_millis(20));
+    }
+    cluster.run_for(Duration::from_secs(1));
+    assert_eq!(
+        cluster.node(leader).log().snapshot_index(),
+        LogIndex::ZERO,
+        "a snapshot-less state machine must block compaction"
+    );
+
+    cluster.restart(sleeper);
+    cluster.run_for(Duration::from_secs(3));
+    assert_eq!(
+        cluster.node(sleeper).log().last_index(),
+        cluster.node(leader).log().last_index(),
+        "sleeper caught up by plain replication"
+    );
+    assert!(cluster.safety().is_safe());
+}
+
+/// Direct engine-level check with real snapshot-capable state machines:
+/// build three nodes by hand, crash one, compact, restart, and verify the
+/// snapshot path brings it back with identical state.
+#[test]
+fn snapshot_transfer_restores_state_machine_contents() {
+    use escape::core::engine::{Action, Node};
+    use escape::core::policy::RaftPolicy;
+    use escape::core::time::Time;
+    use escape::core::types::{Role, ServerId};
+    use escape::core::message::Message;
+    use std::collections::{BTreeMap, VecDeque};
+
+    let ids: Vec<ServerId> = (1..=3).map(ServerId::new).collect();
+    let mk = |id: ServerId, seed: u64| {
+        Node::builder(id, ids.clone())
+            .policy(Box::new(RaftPolicy::randomized(
+                Duration::from_millis(100),
+                Duration::from_millis(200),
+                seed,
+            )))
+            .state_machine(Box::new(KvStateMachine::new()))
+            .options(snapshot_options())
+            .build()
+    };
+    let mut nodes: BTreeMap<ServerId, Node> =
+        ids.iter().map(|id| (*id, mk(*id, id.get() as u64))).collect();
+
+    // A tiny synchronous pump (instant delivery).
+    let mut now = Time::ZERO;
+    let mut inbox: VecDeque<(ServerId, ServerId, Message)> = VecDeque::new();
+    let mut timers: BTreeMap<ServerId, Vec<(escape::core::engine::TimerToken, Time)>> =
+        BTreeMap::new();
+    let mut crashed: Vec<ServerId> = Vec::new();
+    macro_rules! absorb {
+        ($id:expr, $actions:expr) => {
+            for action in $actions {
+                match action {
+                    Action::Send { to, msg, .. } => inbox.push_back(($id, to, msg)),
+                    Action::SetTimer { token, deadline } => {
+                        timers.entry($id).or_default().push((token, deadline))
+                    }
+                    _ => {}
+                }
+            }
+        };
+    }
+    let ids2 = ids.clone();
+    for id in &ids2 {
+        let actions = nodes.get_mut(id).unwrap().start(now);
+        absorb!(*id, actions);
+    }
+    macro_rules! settle {
+        () => {
+            while let Some((from, to, msg)) = inbox.pop_front() {
+                if crashed.contains(&to) || crashed.contains(&from) {
+                    continue;
+                }
+                let actions = nodes.get_mut(&to).unwrap().handle_message(from, msg, now);
+                absorb!(to, actions);
+            }
+        };
+    }
+    // Elect S1 by firing its election timer.
+    let (token, _) = timers.get_mut(&ids[0]).unwrap().remove(0);
+    now = Time::from_millis(200);
+    let actions = nodes.get_mut(&ids[0]).unwrap().handle_timer(token, now);
+    absorb!(ids[0], actions);
+    settle!();
+    assert_eq!(nodes[&ids[0]].role(), Role::Leader);
+
+    // S3 crashes; the leader commits 40 entries and compacts (threshold 16).
+    crashed.push(ids[2]);
+    for i in 0..40 {
+        now += Duration::from_millis(5);
+        let (_, actions) = nodes
+            .get_mut(&ids[0])
+            .unwrap()
+            .propose(put(i), now)
+            .expect("leader");
+        absorb!(ids[0], actions);
+        settle!();
+    }
+    let leader_node = &nodes[&ids[0]];
+    assert!(
+        leader_node.log().snapshot_index() > LogIndex::ZERO,
+        "leader must have compacted (metrics: {:?})",
+        leader_node.metrics().compactions
+    );
+    assert!(leader_node.metrics().compactions >= 1);
+
+    // S3 returns; the next heartbeat round must ship a snapshot.
+    crashed.clear();
+    let actions = nodes.get_mut(&ids[2]).unwrap().restart(now);
+    absorb!(ids[2], actions);
+    // Drive a few heartbeat rounds manually.
+    for _ in 0..4 {
+        now += Duration::from_millis(150);
+        let due: Vec<_> = timers
+            .entry(ids[0])
+            .or_default()
+            .drain(..)
+            .collect();
+        for (token, _) in due {
+            let actions = nodes.get_mut(&ids[0]).unwrap().handle_timer(token, now);
+            absorb!(ids[0], actions);
+        }
+        settle!();
+    }
+
+    let sleeper = &nodes[&ids[2]];
+    assert!(
+        sleeper.metrics().snapshots_installed >= 1,
+        "restart catch-up must go through InstallSnapshot"
+    );
+    assert_eq!(
+        sleeper.log().last_index(),
+        nodes[&ids[0]].log().last_index(),
+        "sleeper fully caught up"
+    );
+    assert!(sleeper.last_applied() >= nodes[&ids[0]].log().snapshot_index());
+}
