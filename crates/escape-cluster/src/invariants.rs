@@ -92,17 +92,11 @@ struct EntryMark {
 }
 
 fn hash_payload(payload: &Payload) -> u64 {
-    // FNV-1a over the payload bytes; cheap and deterministic.
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let bytes: &[u8] = match payload {
         Payload::Noop => b"\x00noop",
         Payload::Command(c) => c.as_ref(),
     };
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
+    escape_core::hash::fnv1a(bytes)
 }
 
 /// Accumulates observations and flags the first violation of each kind.

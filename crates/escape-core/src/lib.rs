@@ -55,6 +55,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod hash;
 pub mod log;
 pub mod message;
 pub mod metrics;

@@ -51,20 +51,14 @@ impl KvStateMachine {
     /// A deterministic digest of the full map — replicas with equal
     /// digests hold equal state (used by convergence tests).
     pub fn digest(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x1000_0000_01b3);
-            }
-            h ^= 0xFF;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        };
+        let mut h = escape_core::hash::Fnv1a::new();
         for (k, v) in &self.map {
-            mix(k.as_bytes());
-            mix(v);
+            h.write(k.as_bytes());
+            h.write_separator();
+            h.write(v);
+            h.write_separator();
         }
-        h
+        h.finish()
     }
 
     fn execute(&mut self, command: KvCommand) -> KvResponse {

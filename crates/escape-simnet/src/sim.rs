@@ -344,58 +344,68 @@ impl<M: SimMessage> Sim<M> {
     /// the simulation has quiesced. The virtual clock never moves backwards.
     pub fn step(&mut self) -> Option<Ready<M>> {
         loop {
-            let (at, event) = self.queue.pop()?;
-            debug_assert!(at >= self.now, "time ran backwards");
-            self.now = at;
-            match event {
-                SimEvent::Deliver {
-                    from,
-                    to,
-                    msg,
-                    incarnation,
-                } => {
-                    if self.crashed.contains(&to) {
-                        self.stats.dropped_crashed += 1;
-                        self.trace.record(TraceEvent::Dropped {
-                            at,
-                            from,
-                            to,
-                            cause: DropCause::TargetCrashed,
-                        });
-                        continue;
-                    }
-                    if incarnation != self.incarnation(to) {
-                        self.stats.dropped_crashed += 1;
-                        self.trace.record(TraceEvent::Dropped {
-                            at,
-                            from,
-                            to,
-                            cause: DropCause::StaleIncarnation,
-                        });
-                        continue;
-                    }
-                    self.stats.delivered += 1;
-                    self.trace.record(TraceEvent::Delivered {
+            match self.pop_one()? {
+                Some(ready) => return Some(ready),
+                None => continue, // filtered (stale/crashed); try the next event
+            }
+        }
+    }
+
+    /// Pops exactly one queued event. Outer `None`: the queue is empty.
+    /// Inner `None`: the event was filtered (stale incarnation or crashed
+    /// target) and consumed without becoming ready.
+    fn pop_one(&mut self) -> Option<Option<Ready<M>>> {
+        let (at, event) = self.queue.pop()?;
+        debug_assert!(at >= self.now, "time ran backwards");
+        self.now = at;
+        match event {
+            SimEvent::Deliver {
+                from,
+                to,
+                msg,
+                incarnation,
+            } => {
+                if self.crashed.contains(&to) {
+                    self.stats.dropped_crashed += 1;
+                    self.trace.record(TraceEvent::Dropped {
                         at,
                         from,
                         to,
-                        what: msg.kind_name(),
+                        cause: DropCause::TargetCrashed,
                     });
-                    return Some(Ready::Message { from, to, msg });
+                    return Some(None);
                 }
-                SimEvent::Timer {
-                    node,
-                    token,
-                    incarnation,
-                } => {
-                    if self.crashed.contains(&node) || incarnation != self.incarnation(node) {
-                        continue;
-                    }
-                    self.stats.timers_fired += 1;
-                    return Some(Ready::Timer { node, token });
+                if incarnation != self.incarnation(to) {
+                    self.stats.dropped_crashed += 1;
+                    self.trace.record(TraceEvent::Dropped {
+                        at,
+                        from,
+                        to,
+                        cause: DropCause::StaleIncarnation,
+                    });
+                    return Some(None);
                 }
-                SimEvent::Control { tag } => return Some(Ready::Control { tag }),
+                self.stats.delivered += 1;
+                self.trace.record(TraceEvent::Delivered {
+                    at,
+                    from,
+                    to,
+                    what: msg.kind_name(),
+                });
+                Some(Some(Ready::Message { from, to, msg }))
             }
+            SimEvent::Timer {
+                node,
+                token,
+                incarnation,
+            } => {
+                if self.crashed.contains(&node) || incarnation != self.incarnation(node) {
+                    return Some(None);
+                }
+                self.stats.timers_fired += 1;
+                Some(Some(Ready::Timer { node, token }))
+            }
+            SimEvent::Control { tag } => Some(Some(Ready::Control { tag })),
         }
     }
 
@@ -403,11 +413,22 @@ impl<M: SimMessage> Sim<M> {
     /// after it stay queued and `None` is returned (with the clock advanced
     /// to `deadline`).
     pub fn step_before(&mut self, deadline: Time) -> Option<Ready<M>> {
-        match self.queue.peek_time() {
-            Some(t) if t < deadline => self.step(),
-            _ => {
-                self.now = self.now.max(deadline);
-                None
+        loop {
+            match self.queue.peek_time() {
+                // Strictly before the deadline: consume one event. A
+                // filtered event (stale/crashed) is swallowed and the next
+                // queue head re-examined, so the deadline check applies to
+                // every event actually popped — `step()` here could pop a
+                // later-than-deadline event after a filtered head.
+                Some(t) if t < deadline => match self.pop_one() {
+                    Some(Some(ready)) => return Some(ready),
+                    Some(None) => continue,
+                    None => unreachable!("peek_time saw a queued event"),
+                },
+                _ => {
+                    self.now = self.now.max(deadline);
+                    return None;
+                }
             }
         }
     }

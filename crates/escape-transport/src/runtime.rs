@@ -96,7 +96,6 @@ pub fn node_loop(
 
     let actions = node.start(clock.now());
     absorb(
-        &mut node,
         actions,
         &mut timers,
         &mut apply_waiters,
@@ -105,6 +104,36 @@ pub fn node_loop(
     );
 
     loop {
+        // Fire every due timer before touching the inbox: a node whose
+        // inbox never drains (a busy leader, a follower being streamed a
+        // log) must still heartbeat and notice election deadlines —
+        // firing only when `recv_timeout` times out would starve them.
+        if !paused {
+            let now = clock.now();
+            let due: Vec<(TimerKind, TimerToken)> = timers
+                .iter()
+                .filter(|(_, (_, d))| *d <= now)
+                .map(|(k, (t, _))| (*k, *t))
+                .collect();
+            for (kind, token) in due {
+                // An earlier handler in this batch may have re-armed this
+                // kind with a fresh token; firing the snapshotted one would
+                // delete the new timer and no-op in the engine.
+                if timers.get(&kind).map(|(t, _)| *t) != Some(token) {
+                    continue;
+                }
+                timers.remove(&kind);
+                let actions = node.handle_timer(token, clock.now());
+                absorb(
+                    actions,
+                    &mut timers,
+                    &mut apply_waiters,
+                    &mut recent_results,
+                    &outbound,
+                );
+            }
+        }
+
         // Wait for the earliest timer or the next input, whichever first.
         let next_deadline = timers.values().map(|(_, d)| *d).min();
         let wait = match next_deadline {
@@ -127,26 +156,24 @@ pub fn node_loop(
                     paused = false;
                     let actions = node.restart(clock.now());
                     absorb(
-                    &mut node,
-                    actions,
-                    &mut timers,
-                    &mut apply_waiters,
-                    &mut recent_results,
-                    &outbound,
-                );
+                        actions,
+                        &mut timers,
+                        &mut apply_waiters,
+                        &mut recent_results,
+                        &outbound,
+                    );
                 }
             }
             Ok(NodeInput::Peer(from, msg)) => {
                 if !paused {
                     let actions = node.handle_message(from, msg, clock.now());
                     absorb(
-                    &mut node,
-                    actions,
-                    &mut timers,
-                    &mut apply_waiters,
-                    &mut recent_results,
-                    &outbound,
-                );
+                        actions,
+                        &mut timers,
+                        &mut apply_waiters,
+                        &mut recent_results,
+                        &outbound,
+                    );
                 }
             }
             Ok(NodeInput::Propose { command, reply }) => {
@@ -157,7 +184,6 @@ pub fn node_loop(
                         Ok((index, actions)) => {
                             let _ = reply.send(Ok(index));
                             absorb(
-                                &mut node,
                                 actions,
                                 &mut timers,
                                 &mut apply_waiters,
@@ -192,30 +218,8 @@ pub fn node_loop(
                     apply_waiters.entry(index).or_default().push(reply);
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {
-                if paused {
-                    continue;
-                }
-                let now = clock.now();
-                // Fire every timer whose deadline has passed.
-                let due: Vec<(TimerKind, TimerToken)> = timers
-                    .iter()
-                    .filter(|(_, (_, d))| *d <= now)
-                    .map(|(k, (t, _))| (*k, *t))
-                    .collect();
-                for (kind, token) in due {
-                    timers.remove(&kind);
-                    let actions = node.handle_timer(token, clock.now());
-                    absorb(
-                    &mut node,
-                    actions,
-                    &mut timers,
-                    &mut apply_waiters,
-                    &mut recent_results,
-                    &outbound,
-                );
-                }
-            }
+            // Due timers fire at the top of the next iteration.
+            Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
         }
     }
@@ -226,14 +230,12 @@ pub fn node_loop(
 const RESULT_WINDOW: usize = 1024;
 
 fn absorb(
-    node: &mut Node,
     actions: Vec<Action>,
     timers: &mut BTreeMap<TimerKind, (TimerToken, Time)>,
     apply_waiters: &mut HashMap<LogIndex, Vec<Sender<Bytes>>>,
     recent_results: &mut BTreeMap<LogIndex, Bytes>,
     outbound: &Arc<dyn Outbound + Sync>,
 ) {
-    let _ = node;
     for action in actions {
         match action {
             Action::Send { to, msg, .. } => outbound.send(to, msg),

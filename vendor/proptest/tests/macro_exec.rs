@@ -1,0 +1,33 @@
+//! Guard test: the `proptest!` macro must actually run its body once per
+//! configured case, and a failing body must fail the test.
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static RUNS: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 17, ..ProptestConfig::default() })]
+    #[test]
+    fn body_runs_once_per_case(x in 0u32..1000) {
+        RUNS.fetch_add(1, Ordering::SeqCst);
+        prop_assert!(x < 1000);
+    }
+}
+
+#[test]
+fn case_count_is_respected() {
+    // `body_runs_once_per_case` also runs as its own #[test] (possibly in
+    // parallel with this one), so the total is some positive multiple of
+    // the configured 17 cases.
+    body_runs_once_per_case();
+    let runs = RUNS.load(Ordering::SeqCst);
+    assert!(runs >= 17 && runs.is_multiple_of(17), "unexpected run count {runs}");
+}
+
+proptest! {
+    #[test]
+    #[should_panic]
+    fn failing_bodies_fail(x in 0u32..10) {
+        prop_assert!(x > 100, "must fail");
+    }
+}
