@@ -1,0 +1,165 @@
+//! Bench-regression gate: compares a fresh `BENCH_engine.json` medians
+//! file (emitted by the criterion shim) against the committed baseline
+//! and fails (exit 1) when the PPF hot path regresses.
+//!
+//! ```text
+//! cargo bench -p escape-bench --bench engine
+//! cargo run -p escape-bench --bin bench_check -- \
+//!     crates/escape-bench/BENCH_engine.json crates/escape-bench/baselines/engine.json
+//! ```
+//!
+//! Enforced (hard failures), both machine-independent so a slower CI
+//! runner cannot flake them:
+//! * the `ppf_rearrangement` 128/32 scaling factor > 2× the committed
+//!   baseline's factor — the ROADMAP's superlinear-cliff regression,
+//!   normalized by the same machine's n=32 run.
+//! * `ppf_rearrangement/128` median > 8× `ppf_rearrangement/32` — the
+//!   acceptance bound on scaling shape.
+//!
+//! Absolute medians (the gated label and everything else) are compared
+//! against the baseline too, but only warn: wall-clock medians vary
+//! across CI machines, so absolute 2× checks would flake.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// The gated benchmark and its thresholds.
+const GATED: &str = "ppf_rearrangement/128";
+const GATED_BASELINE_FACTOR: f64 = 2.0;
+const RATIO_NUMERATOR: &str = "ppf_rearrangement/128";
+const RATIO_DENOMINATOR: &str = "ppf_rearrangement/32";
+const RATIO_LIMIT: f64 = 8.0;
+
+/// Parses the shim's medians file: `{ "label": 1.23e-6, ... }`, one
+/// entry per line.
+fn parse_medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for line in raw.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue; // braces or blanks
+        };
+        let Some((label, value)) = rest.split_once("\": ") else {
+            return Err(format!("{path}: malformed line {line:?}"));
+        };
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("{path}: bad number in {line:?}: {e}"))?;
+        out.insert(label.to_string(), value);
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no benchmark entries found"));
+    }
+    Ok(out)
+}
+
+fn fmt(secs: f64) -> String {
+    if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(current_path), Some(baseline_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_check <current-medians.json> <baseline-medians.json>");
+        return ExitCode::FAILURE;
+    };
+    let current = match parse_medians(&current_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match parse_medians(&baseline_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+
+    // Gate 1: the PPF cliff must stay within 2× of the committed
+    // baseline, measured as the 128/32 scaling factor so a uniformly
+    // slower (or faster) CI machine cancels out of the comparison.
+    let scaling = |m: &BTreeMap<String, f64>| -> Option<f64> {
+        match (m.get(RATIO_NUMERATOR), m.get(RATIO_DENOMINATOR)) {
+            (Some(&num), Some(&den)) if den > 0.0 => Some(num / den),
+            _ => None,
+        }
+    };
+    match (scaling(&current), scaling(&baseline)) {
+        (Some(cur_scale), Some(base_scale)) if base_scale > 0.0 => {
+            let factor = cur_scale / base_scale;
+            let verdict = if factor > GATED_BASELINE_FACTOR {
+                failed = true;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!(
+                "[{verdict}] {GATED} scaling vs /32: {cur_scale:.2}x, baseline {base_scale:.2}x \
+                 ({factor:.2}x regression, limit {GATED_BASELINE_FACTOR}x)"
+            );
+        }
+        _ => {
+            eprintln!(
+                "bench_check: {RATIO_NUMERATOR} / {RATIO_DENOMINATOR} missing from \
+                 current or baseline medians"
+            );
+            failed = true;
+        }
+    }
+
+    // Gate 2: scaling shape — n=128 within 8× of n=32, machine-independent.
+    match (current.get(RATIO_NUMERATOR), current.get(RATIO_DENOMINATOR)) {
+        (Some(&num), Some(&den)) if den > 0.0 => {
+            let ratio = num / den;
+            let verdict = if ratio > RATIO_LIMIT {
+                failed = true;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!(
+                "[{verdict}] {RATIO_NUMERATOR} / {RATIO_DENOMINATOR}: {ratio:.2}x (limit {RATIO_LIMIT}x)"
+            );
+        }
+        _ => {
+            eprintln!("bench_check: ratio inputs missing from current medians");
+            failed = true;
+        }
+    }
+
+    // Advisory: absolute medians that regressed noticeably (these vary
+    // with CI hardware, so they warn rather than gate).
+    for (label, &cur) in &current {
+        if let Some(&base) = baseline.get(label) {
+            let factor = cur / base;
+            if factor > GATED_BASELINE_FACTOR {
+                println!(
+                    "[warn] {label}: {} vs baseline {} ({factor:.2}x absolute) — advisory only",
+                    fmt(cur),
+                    fmt(base),
+                );
+            }
+        }
+    }
+
+    if failed {
+        eprintln!("bench_check: PPF hot-path regression gate FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_check: all gates passed");
+        ExitCode::SUCCESS
+    }
+}

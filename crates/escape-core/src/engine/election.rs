@@ -28,6 +28,9 @@ impl Node {
             .current_term
             .advanced_by(self.policy.term_increment());
         self.voted_for = Some(self.id);
+        // Durable before the solicitations go out: a candidate that forgot
+        // this campaign could re-campaign in the same term after a crash.
+        self.persist_hard_state();
         self.votes_granted.clear();
         self.votes_granted.insert(self.id);
         self.leader_hint = None;
@@ -116,6 +119,9 @@ impl Node {
 
         if granted {
             self.voted_for = Some(args.candidate_id);
+            // Durable before the grant is sent (Election Safety): a voter
+            // that forgets this vote could grant another in the same term.
+            self.persist_hard_state();
             self.metrics.votes_granted += 1;
             // Granting a vote concedes the current campaign window to the
             // candidate: push our own timer back.
@@ -165,6 +171,8 @@ impl Node {
         }
 
         self.policy.became_leader(&self.peers.clone());
+        // The policy retired/restamped its own configuration on winning.
+        self.persist_current_config();
 
         // Suspend the election timer (the "NA/∞" leader row of Fig. 5)
         // and the campaign retransmission.
@@ -174,6 +182,7 @@ impl Node {
         if self.options.leader_noop {
             self.log
                 .append_new(self.current_term, crate::log::Payload::Noop);
+            self.persist_last_entry();
         }
 
         out.push(Action::BecameLeader {

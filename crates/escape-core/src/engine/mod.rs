@@ -58,6 +58,7 @@ use crate::message::Message;
 use crate::metrics::NodeMetrics;
 use crate::policy::ElectionPolicy;
 use crate::statemachine::{NullStateMachine, StateMachine};
+use crate::storage::{NullStorage, RecoveredState, Storage};
 use crate::time::{Duration, Time};
 use crate::types::{quorum, LogIndex, Role, ServerId, Term};
 
@@ -205,6 +206,8 @@ pub struct NodeBuilder {
     cluster: Vec<ServerId>,
     policy: Option<Box<dyn ElectionPolicy>>,
     state_machine: Box<dyn StateMachine>,
+    storage: Box<dyn Storage>,
+    recovered: Option<RecoveredState>,
     options: Options,
 }
 
@@ -222,6 +225,25 @@ impl NodeBuilder {
         self
     }
 
+    /// Sets the durable-storage sink (defaults to
+    /// [`NullStorage`]). Every persistent-state mutation is recorded here
+    /// *before* the actions it produced are returned to the runtime.
+    pub fn storage(mut self, storage: Box<dyn Storage>) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Boots the node from state recovered off durable storage instead of
+    /// a blank slate: term, vote, log, configuration, and (when a snapshot
+    /// was recovered) the state machine's contents all resume where the
+    /// crashed process left them. Pair with
+    /// [`NodeBuilder::storage`] so new mutations keep landing in the same
+    /// directory.
+    pub fn recover(mut self, state: RecoveredState) -> Self {
+        self.recovered = Some(state);
+        self
+    }
+
     /// Overrides the engine options.
     pub fn options(mut self, options: Options) -> Self {
         self.options = options;
@@ -235,7 +257,7 @@ impl NodeBuilder {
     /// Panics if no policy was supplied, if the cluster does not contain the
     /// node's own id, or if the cluster contains duplicate ids.
     pub fn build(self) -> Node {
-        let policy = self.policy.expect("NodeBuilder requires a policy");
+        let mut policy = self.policy.expect("NodeBuilder requires a policy");
         let mut seen = BTreeSet::new();
         for id in &self.cluster {
             assert!(seen.insert(*id), "duplicate server id {id} in cluster");
@@ -251,21 +273,53 @@ impl NodeBuilder {
             .copied()
             .filter(|p| *p != self.id)
             .collect();
+
+        let mut current_term = Term::ZERO;
+        let mut voted_for = None;
+        let mut log = Log::new();
+        let mut state_machine = self.state_machine;
+        let mut last_applied = LogIndex::ZERO;
+        let mut commit_index = LogIndex::ZERO;
+        let mut latest_snapshot = None;
+        if let Some(recovered) = self.recovered {
+            current_term = recovered.term;
+            voted_for = recovered.voted_for;
+            log = recovered.log;
+            if let Some(config) = recovered.config {
+                policy.restore_config(config);
+            }
+            if let Some(snapshot) = recovered.snapshot {
+                state_machine.restore(&snapshot.data);
+                last_applied = snapshot.index;
+                // Conservative restart point: committed-but-unsnapshotted
+                // entries re-commit (and re-apply, deterministically) once
+                // a leader's heartbeats re-advance the commit index.
+                commit_index = snapshot.index;
+                latest_snapshot = Some(SnapshotHandle {
+                    index: snapshot.index,
+                    term: snapshot.term,
+                    data: snapshot.data,
+                });
+            }
+        }
+
         Node {
             id: self.id,
             peers,
             cluster_size: self.cluster.len(),
             policy,
-            state_machine: self.state_machine,
+            state_machine,
+            storage: self.storage,
+            storage_dirty: false,
             options: self.options,
-            current_term: Term::ZERO,
-            voted_for: None,
-            log: Log::new(),
+            current_term,
+            voted_for,
+            log,
             role: Role::Follower,
             leader_hint: None,
-            commit_index: LogIndex::ZERO,
-            last_applied: LogIndex::ZERO,
-            latest_snapshot: None,
+            commit_index,
+            last_applied,
+            latest_snapshot,
             votes_granted: BTreeSet::new(),
             next_index: BTreeMap::new(),
             match_index: BTreeMap::new(),
@@ -298,6 +352,10 @@ pub struct Node {
     cluster_size: usize,
     policy: Box<dyn ElectionPolicy>,
     state_machine: Box<dyn StateMachine>,
+    storage: Box<dyn Storage>,
+    /// `true` when persisted-but-unsynced records exist; cleared by the
+    /// pre-return [`Node::sync_storage`].
+    storage_dirty: bool,
     options: Options,
 
     // ---- Raft persistent state ----
@@ -347,6 +405,8 @@ impl Node {
             cluster,
             policy: None,
             state_machine: Box::new(NullStateMachine),
+            storage: Box::new(NullStorage),
+            recovered: None,
             options: Options::default(),
         }
     }
@@ -484,6 +544,7 @@ impl Node {
                 self.on_install_snapshot_reply(from, r, now, &mut out)
             }
         }
+        self.sync_storage();
         out
     }
 
@@ -503,6 +564,7 @@ impl Node {
             }
             _ => {} // stale epoch: the timer was re-armed or cancelled
         }
+        self.sync_storage();
         out
     }
 
@@ -526,6 +588,7 @@ impl Node {
         let index = self
             .log
             .append_new(self.current_term, crate::log::Payload::Command(command));
+        self.persist_last_entry();
         let mut out = Vec::new();
         let broadcast = self.next_broadcast_id();
         for peer in self.peers.clone() {
@@ -533,6 +596,7 @@ impl Node {
         }
         // A single-node cluster commits immediately.
         self.advance_commit(now, &mut out);
+        self.sync_storage();
         Ok((index, out))
     }
 
@@ -543,6 +607,7 @@ impl Node {
         debug_assert!(term > self.current_term);
         self.current_term = term;
         self.voted_for = None;
+        self.persist_hard_state();
         if self.role != Role::Follower {
             self.step_down(now, out);
         }
@@ -613,6 +678,79 @@ impl Node {
     fn next_broadcast_id(&mut self) -> u64 {
         self.broadcast_seq += 1;
         self.broadcast_seq
+    }
+
+    // ---- durability ----
+    //
+    // Each helper records one already-applied mutation in the storage sink
+    // and marks it dirty; `sync_storage` runs before any public entry
+    // point returns its actions, so nothing the runtime transmits can
+    // outrun the WAL. Storage failures are fatal: a node that cannot
+    // persist its vote must stop rather than risk double-voting later.
+
+    /// Records the current term and vote.
+    pub(super) fn persist_hard_state(&mut self) {
+        self.storage
+            .persist_hard_state(self.current_term, self.voted_for)
+            .expect("storage failed to persist term/vote");
+        self.storage_dirty = true;
+    }
+
+    /// Records the entry just appended at the log tail.
+    pub(super) fn persist_last_entry(&mut self) {
+        let entry = self
+            .log
+            .entry(self.log.last_index())
+            .expect("tail entry just appended")
+            .clone();
+        self.storage
+            .persist_entry(&entry)
+            .expect("storage failed to persist log entry");
+        self.storage_dirty = true;
+    }
+
+    /// Records an accepted follower-side `AppendEntries` mutation.
+    pub(super) fn persist_appended(
+        &mut self,
+        prev_index: LogIndex,
+        prev_term: Term,
+        entries: &[crate::log::Entry],
+    ) {
+        self.storage
+            .persist_appended(prev_index, prev_term, entries)
+            .expect("storage failed to persist appended entries");
+        self.storage_dirty = true;
+    }
+
+    /// Records the policy's current configuration (ESCAPE's durable
+    /// `confClock` fence, §IV-B).
+    pub(super) fn persist_current_config(&mut self) {
+        if let Some(config) = self.policy.current_config() {
+            self.storage
+                .persist_config(config)
+                .expect("storage failed to persist configuration");
+            self.storage_dirty = true;
+        }
+    }
+
+    /// Records a snapshot that just landed (local compaction or an
+    /// installed one), handing storage the retained log tail so WAL
+    /// truncation cannot orphan entries above the snapshot point.
+    pub(super) fn persist_snapshot(&mut self, index: LogIndex, term: Term, data: &Bytes) {
+        let tail = self.log.entries_from(index, usize::MAX);
+        self.storage
+            .persist_snapshot(index, term, data, &tail)
+            .expect("storage failed to persist snapshot");
+        self.storage_dirty = true;
+    }
+
+    /// Flushes buffered storage records; called before every public entry
+    /// point returns, so returned actions imply durable state.
+    fn sync_storage(&mut self) {
+        if self.storage_dirty {
+            self.storage.sync().expect("storage failed to sync");
+            self.storage_dirty = false;
+        }
     }
 
     /// Test-only backdoor for constructing divergent logs.

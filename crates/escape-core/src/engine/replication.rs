@@ -32,6 +32,9 @@ impl Node {
     pub(super) fn heartbeat_round(&mut self, _now: Time, out: &mut Vec<Action>) {
         if self.policy.begin_heartbeat_round() {
             self.metrics.rearrangements_issued += 1;
+            // A rearrangement restamped the leader's own configuration
+            // with the fresh clock; keep the durable copy current.
+            self.persist_current_config();
         }
         let broadcast = self.next_broadcast_id();
         for peer in self.peers.clone() {
@@ -117,6 +120,11 @@ impl Node {
             self.state_machine.restore(&args.data);
             self.log
                 .reset_to_snapshot(args.last_included_index, args.last_included_term);
+            self.persist_snapshot(
+                args.last_included_index,
+                args.last_included_term,
+                &args.data,
+            );
             self.last_applied = args.last_included_index;
             self.commit_index = self.commit_index.max(args.last_included_index);
             self.latest_snapshot = Some(SnapshotHandle {
@@ -183,6 +191,7 @@ impl Node {
             .term_at(index)
             .expect("applied entries are present");
         self.log.compact_to(index);
+        self.persist_snapshot(index, term, &data);
         self.latest_snapshot = Some(SnapshotHandle { index, term, data });
         self.metrics.compactions += 1;
     }
@@ -226,14 +235,27 @@ impl Node {
         if let Some(config) = args.new_config {
             if self.policy.config_received(config) {
                 self.metrics.configs_adopted += 1;
+                // Durable at adoption: this clock is what fences wiped
+                // restarts off from intact voters after a crash (§IV-B).
+                self.persist_current_config();
             }
         }
 
+        let last_before = self.log.last_index();
         let outcome = self
             .log
             .try_append(args.prev_log_index, args.prev_log_term, &args.entries);
         let (success, match_hint) = match outcome {
-            AppendOutcome::Appended { .. } => {
+            AppendOutcome::Appended { last_index, truncated } => {
+                if truncated > 0 || last_index > last_before {
+                    // The log actually changed (pure duplicate
+                    // retransmissions skip the WAL record).
+                    self.persist_appended(
+                        args.prev_log_index,
+                        args.prev_log_term,
+                        &args.entries,
+                    );
+                }
                 // Only the prefix the leader actually confirmed may commit:
                 // `prev + entries.len()`, not our possibly-stale tail.
                 let confirmed =

@@ -790,3 +790,182 @@ fn heartbeat_to_deposed_candidate_includes_catchup_entries() {
         assert_eq!(pump.node(id).commit_index(), pump.node(1).commit_index());
     }
 }
+
+/// A storage mock that records the order of persist/sync calls, for
+/// asserting the write-ahead discipline without real I/O.
+#[derive(Debug, Default)]
+struct TracingStorage {
+    calls: std::rc::Rc<std::cell::RefCell<Vec<String>>>,
+}
+
+// The engine requires `Send`; the Rc never actually crosses threads in
+// these single-threaded tests.
+#[allow(unsafe_code)]
+unsafe impl Send for TracingStorage {}
+
+impl crate::storage::Storage for TracingStorage {
+    fn persist_hard_state(
+        &mut self,
+        term: Term,
+        voted_for: Option<ServerId>,
+    ) -> std::io::Result<()> {
+        self.calls
+            .borrow_mut()
+            .push(format!("hard_state t={} v={voted_for:?}", term.get()));
+        Ok(())
+    }
+
+    fn persist_entry(&mut self, entry: &crate::log::Entry) -> std::io::Result<()> {
+        self.calls
+            .borrow_mut()
+            .push(format!("entry i={}", entry.index.get()));
+        Ok(())
+    }
+
+    fn persist_appended(
+        &mut self,
+        prev_index: LogIndex,
+        _prev_term: Term,
+        entries: &[crate::log::Entry],
+    ) -> std::io::Result<()> {
+        self.calls
+            .borrow_mut()
+            .push(format!("appended prev={} n={}", prev_index.get(), entries.len()));
+        Ok(())
+    }
+
+    fn persist_config(&mut self, config: crate::config::Configuration) -> std::io::Result<()> {
+        self.calls
+            .borrow_mut()
+            .push(format!("config k={}", config.conf_clock.get()));
+        Ok(())
+    }
+
+    fn persist_snapshot(
+        &mut self,
+        index: LogIndex,
+        _term: Term,
+        _data: &Bytes,
+        tail: &[crate::log::Entry],
+    ) -> std::io::Result<()> {
+        self.calls
+            .borrow_mut()
+            .push(format!("snapshot i={} tail={}", index.get(), tail.len()));
+        Ok(())
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.calls.borrow_mut().push("sync".to_string());
+        Ok(())
+    }
+}
+
+/// Every persistent-state mutation must be recorded and synced before the
+/// entry point returns its actions — the invariant real WAL durability
+/// rides on.
+#[test]
+fn storage_is_written_and_synced_before_actions_return() {
+    let calls = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let ids: Vec<ServerId> = (1..=3).map(ServerId::new).collect();
+    let mut node = Node::builder(ids[0], ids.clone())
+        .policy(Box::new(RaftPolicy::randomized(
+            Duration::from_millis(150),
+            Duration::from_millis(300),
+            7,
+        )))
+        .storage(Box::new(TracingStorage {
+            calls: calls.clone(),
+        }))
+        .build();
+
+    // A vote grant persists hard state, then syncs, before the reply
+    // action exists for the runtime to transmit.
+    let actions = node.start(Time::ZERO);
+    assert!(calls.borrow().is_empty(), "start touches no persistent state");
+    drop(actions);
+    let msg = crate::message::Message::RequestVote(crate::message::RequestVoteArgs {
+        term: Term::new(4),
+        candidate_id: ids[1],
+        last_log_index: LogIndex::ZERO,
+        last_log_term: Term::ZERO,
+        conf_clock: None,
+    });
+    node.handle_message(ids[1], msg, Time::ZERO);
+    {
+        let seen = calls.borrow();
+        // Higher term adoption, then the grant, then exactly one sync.
+        assert_eq!(
+            *seen,
+            vec![
+                "hard_state t=4 v=None".to_string(),
+                "hard_state t=4 v=Some(ServerId(2))".to_string(),
+                "sync".to_string(),
+            ]
+        );
+    }
+
+    // A campaign persists term+self-vote before the solicitations.
+    calls.borrow_mut().clear();
+    let timer = TimerToken {
+        kind: TimerKind::Election,
+        epoch: 2, // re-armed once by the vote grant
+    };
+    node.handle_timer(timer, Time::ZERO);
+    {
+        let seen = calls.borrow();
+        assert_eq!(seen.first().map(String::as_str), Some("hard_state t=5 v=Some(ServerId(1))"));
+        assert_eq!(seen.last().map(String::as_str), Some("sync"));
+    }
+}
+
+/// Follower log mutations are recorded via the replayable
+/// `persist_appended` form, and pure duplicate retransmissions are not
+/// re-recorded.
+#[test]
+fn follower_appends_persist_only_real_changes() {
+    let calls = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let ids: Vec<ServerId> = (1..=3).map(ServerId::new).collect();
+    let mut node = Node::builder(ids[1], ids.clone())
+        .policy(Box::new(RaftPolicy::randomized(
+            Duration::from_millis(150),
+            Duration::from_millis(300),
+            7,
+        )))
+        .storage(Box::new(TracingStorage {
+            calls: calls.clone(),
+        }))
+        .build();
+    node.start(Time::ZERO);
+
+    let entries = vec![crate::log::Entry {
+        term: Term::new(1),
+        index: LogIndex::new(1),
+        payload: crate::log::Payload::Command(Bytes::from_static(b"a")),
+    }];
+    let append = |entries: Vec<crate::log::Entry>| {
+        crate::message::Message::AppendEntries(crate::message::AppendEntriesArgs {
+            term: Term::new(1),
+            leader_id: ids[0],
+            prev_log_index: LogIndex::ZERO,
+            prev_log_term: Term::ZERO,
+            entries,
+            leader_commit: LogIndex::ZERO,
+            new_config: None,
+        })
+    };
+
+    node.handle_message(ids[0], append(entries.clone()), Time::ZERO);
+    assert!(
+        calls.borrow().iter().any(|c| c == "appended prev=0 n=1"),
+        "first delivery must persist: {:?}",
+        calls.borrow()
+    );
+
+    calls.borrow_mut().clear();
+    node.handle_message(ids[0], append(entries), Time::ZERO);
+    assert!(
+        calls.borrow().iter().all(|c| !c.starts_with("appended")),
+        "duplicate redelivery must not re-persist: {:?}",
+        calls.borrow()
+    );
+}

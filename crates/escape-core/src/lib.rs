@@ -24,6 +24,8 @@
 //! * [`log`], [`message`], [`config`], [`types`], [`time`] — the protocol
 //!   vocabulary.
 //! * [`statemachine`] — the replicated-state-machine interface.
+//! * [`storage`] — the durable-storage interface ([`NullStorage`] for
+//!   simulation; the `escape-storage` crate for real WAL + snapshots).
 //! * [`rand`] — self-contained deterministic PRNG (bit-reproducible runs).
 //! * [`metrics`] — per-node counters.
 //!
@@ -62,6 +64,7 @@ pub mod metrics;
 pub mod policy;
 pub mod rand;
 pub mod statemachine;
+pub mod storage;
 pub mod time;
 pub mod types;
 
@@ -70,5 +73,6 @@ pub use engine::{Action, Node, NodeBuilder, Options, ProposeError, TimerKind, Ti
 pub use message::Message;
 pub use policy::{ElectionPolicy, EscapePolicy, RaftPolicy, ZRaftPolicy};
 pub use statemachine::StateMachine;
+pub use storage::{NullStorage, RecoveredState, Storage};
 pub use time::{Duration, Time};
 pub use types::{ConfClock, LogIndex, Priority, Role, ServerId, Term};

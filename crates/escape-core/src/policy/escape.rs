@@ -45,6 +45,7 @@
 //!   compared in buckets of [`EscapePolicy::RANK_TOLERANCE`] entries; a
 //!   genuinely stale server falls behind by much more than a bucket.
 
+use std::cmp::Reverse;
 use std::collections::BTreeMap;
 
 use crate::config::{Configuration, EscapeParams};
@@ -61,19 +62,46 @@ struct FollowerRecord {
     last_heard_round: u64,
 }
 
+/// Precomputed per-follower ranking key: responsive first, then most
+/// up-to-date (bucketed), then sticky (previous priority), then id.
+/// Built once per round so the sort comparator is a plain tuple compare.
+type RankKey = (Reverse<bool>, Reverse<u64>, Reverse<u64>, ServerId);
+
 /// Leader-side patrol state; exists only while this node leads.
+///
+/// Everything is a flat `Vec` keyed by *follower slot* (the follower's
+/// position in the sorted `followers` vector): `begin_heartbeat_round`
+/// runs on every heartbeat, so the per-round work must be one key-build
+/// pass plus one sort of small `Copy` tuples — no map lookups inside the
+/// comparator, no allocation after the first round.
 #[derive(Clone, Debug)]
 struct Patrol {
-    /// The newest configuration clock this leader has issued.
+    /// The newest configuration clock this leader has issued or observed.
     issuing_clock: ConfClock,
+    /// The clock stamped on the standing assignment (re-sends reuse it
+    /// even if `issuing_clock` was since repaired upward).
+    assigned_clock: ConfClock,
     /// Heartbeat round counter (local to this leadership).
     round: u64,
-    /// Latest status per follower.
-    records: BTreeMap<ServerId, FollowerRecord>,
-    /// The configuration each follower should currently hold.
-    assignment: BTreeMap<ServerId, Configuration>,
-    /// All followers this leader patrols.
+    /// All followers this leader patrols, sorted by id; the index into
+    /// this vector is the follower's slot.
     followers: Vec<ServerId>,
+    /// Latest status per follower slot.
+    records: Vec<Option<FollowerRecord>>,
+    /// The pool priority each follower slot currently holds.
+    assignment: Vec<Option<Priority>>,
+    /// Whether any assignment has been issued this leadership.
+    has_assignment: bool,
+    /// Whether any follower has reported yet.
+    reports_seen: bool,
+    /// Scratch ranking buffer, reused across rounds.
+    order: Vec<(RankKey, u32)>,
+}
+
+impl Patrol {
+    fn slot(&self, id: ServerId) -> Option<usize> {
+        self.followers.binary_search(&id).ok()
+    }
 }
 
 /// Read-only view of the patrol state for tests, traces, and invariant
@@ -171,7 +199,16 @@ impl EscapePolicy {
         self.patrol.as_ref().map(|p| PatrolSnapshot {
             issuing_clock: p.issuing_clock,
             round: p.round,
-            assignment: p.assignment.clone(),
+            assignment: p
+                .followers
+                .iter()
+                .zip(&p.assignment)
+                .filter_map(|(id, pri)| {
+                    pri.map(|pri| {
+                        (*id, self.params.configuration_for(pri, p.assigned_clock))
+                    })
+                })
+                .collect(),
         })
     }
 
@@ -179,65 +216,69 @@ impl EscapePolicy {
     /// freshly incremented clock. Returns `true` if an assignment was
     /// issued.
     fn rearrange(&mut self) -> bool {
+        let tolerance = self.rank_tolerance;
+        let clock_every_round = self.clock_every_round;
+        let n = self.params.cluster_size() as u64;
         let patrol = match &mut self.patrol {
             Some(p) => p,
             None => return false,
         };
         patrol.round += 1;
-        if patrol.records.is_empty() || patrol.followers.is_empty() {
+        if !patrol.reports_seen || patrol.followers.is_empty() {
             // Nothing reported yet: keep boot/stale configurations in place
             // rather than guessing an order (first round of a leadership).
             return false;
         }
 
         let round = patrol.round;
-        let tolerance = self.rank_tolerance;
-        let prev: BTreeMap<ServerId, Priority> = patrol
-            .assignment
-            .iter()
-            .map(|(id, c)| (*id, c.priority))
-            .collect();
-
-        let mut ranked: Vec<ServerId> = patrol.followers.clone();
-        ranked.sort_by(|a, b| {
-            let rec = |id: &ServerId| patrol.records.get(id);
-            let responsive = |id: &ServerId| {
-                rec(id).is_some_and(|r| {
-                    round.saturating_sub(r.last_heard_round) <= Self::STALENESS_ROUNDS
-                })
-            };
+        // One pass to build the ranking keys, then a tuple sort: the
+        // comparator itself does no lookups (this runs every heartbeat).
+        patrol.order.clear();
+        for (slot, id) in patrol.followers.iter().enumerate() {
+            let rec = patrol.records[slot];
+            let responsive = rec.is_some_and(|r| {
+                round.saturating_sub(r.last_heard_round) <= Self::STALENESS_ROUNDS
+            });
             // Bucketed responsiveness: ignore sub-tolerance jitter.
-            let log_bucket =
-                |id: &ServerId| rec(id).map_or(0, |r| r.log_index.get() / tolerance);
-            let prev_priority = |id: &ServerId| prev.get(id).map_or(0, |p| p.get());
-            // Responsive first, then most up-to-date, then sticky, then id.
-            responsive(b)
-                .cmp(&responsive(a))
-                .then(log_bucket(b).cmp(&log_bucket(a)))
-                .then(prev_priority(b).cmp(&prev_priority(a)))
-                .then(a.cmp(b))
-        });
+            let bucket = rec.map_or(0, |r| r.log_index.get() / tolerance);
+            let prev_priority = patrol.assignment[slot].map_or(0, |p| p.get());
+            patrol.order.push((
+                (
+                    Reverse(responsive),
+                    Reverse(bucket),
+                    Reverse(prev_priority),
+                    *id,
+                ),
+                slot as u32,
+            ));
+        }
+        patrol.order.sort_unstable();
+
+        // The pool hands rank `r` priority `n − r` (descending from `n`
+        // to `2`); ranks beyond the pool stay unassigned.
+        let pool_len = (n - 1).min(patrol.followers.len() as u64) as usize;
+        let pool_priority = |rank: usize| Priority::new(n - rank as u64);
 
         // Clock thrift: only a *changed* ranking earns a fresh clock; an
         // unchanged one re-sends the standing assignment so followers that
         // missed it can still catch up. (`clock_every_round` disables the
         // thrift for ablation.)
-        let unchanged = !patrol.assignment.is_empty()
-            && ranked
-                .iter()
-                .zip(self.params.follower_pool(ConfClock::ZERO))
-                .all(|(id, pool)| prev.get(id) == Some(&pool.priority));
-        if unchanged && !self.clock_every_round {
+        let unchanged = patrol.has_assignment
+            && patrol.order[..pool_len].iter().enumerate().all(|(rank, &(_, slot))| {
+                patrol.assignment[slot as usize] == Some(pool_priority(rank))
+            });
+        if unchanged && !clock_every_round {
             return false;
         }
 
         patrol.issuing_clock = patrol.issuing_clock.next();
         let clock = patrol.issuing_clock;
-        patrol.assignment = ranked
-            .iter()
-            .zip(self.params.follower_pool(clock))
-            .map(|(id, config)| (*id, config))
-            .collect();
+        patrol.assigned_clock = clock;
+        patrol.assignment.fill(None);
+        for (rank, &(_, slot)) in patrol.order[..pool_len].iter().enumerate() {
+            patrol.assignment[slot as usize] = Some(pool_priority(rank));
+        }
+        patrol.has_assignment = true;
         // The leader patrols with the retired priority-1 configuration,
         // restamped so its own clock stays current.
         self.config = self.params.configuration_for(Priority::new(1), clock);
@@ -270,12 +311,19 @@ impl ElectionPolicy for EscapePolicy {
 
     fn became_leader(&mut self, peers: &[ServerId]) {
         let issuing_clock = self.config.conf_clock;
+        let mut followers = peers.to_vec();
+        followers.sort_unstable();
+        let n = followers.len();
         self.patrol = Some(Patrol {
             issuing_clock,
+            assigned_clock: issuing_clock,
             round: 0,
-            records: BTreeMap::new(),
-            assignment: BTreeMap::new(),
-            followers: peers.to_vec(),
+            followers,
+            records: vec![None; n],
+            assignment: vec![None; n],
+            has_assignment: false,
+            reports_seen: false,
+            order: Vec::with_capacity(n),
         });
         // Retire the winning configuration (Fig. 5's "NA/∞" leader row).
         self.config = self.params.configuration_for(Priority::new(1), issuing_clock);
@@ -304,15 +352,15 @@ impl ElectionPolicy for EscapePolicy {
 
     fn follower_status(&mut self, from: ServerId, status: ConfigStatus) {
         if let Some(patrol) = &mut self.patrol {
-            let round = patrol.round;
-            patrol.records.insert(
-                from,
-                FollowerRecord {
-                    log_index: status.log_index,
-                    conf_clock: status.conf_clock,
-                    last_heard_round: round,
-                },
-            );
+            let Some(slot) = patrol.slot(from) else {
+                return; // not a patrolled follower
+            };
+            patrol.records[slot] = Some(FollowerRecord {
+                log_index: status.log_index,
+                conf_clock: status.conf_clock,
+                last_heard_round: patrol.round,
+            });
+            patrol.reports_seen = true;
             // Clock repair: never issue below a clock any follower has seen.
             if status.conf_clock > patrol.issuing_clock {
                 patrol.issuing_clock = status.conf_clock;
@@ -325,14 +373,17 @@ impl ElectionPolicy for EscapePolicy {
     }
 
     fn config_for(&mut self, follower: ServerId) -> Option<Configuration> {
-        self.patrol
-            .as_ref()
-            .and_then(|p| p.assignment.get(&follower))
-            .copied()
+        let patrol = self.patrol.as_ref()?;
+        let priority = patrol.assignment[patrol.slot(follower)?]?;
+        Some(self.params.configuration_for(priority, patrol.assigned_clock))
     }
 
     fn current_config(&self) -> Option<Configuration> {
         Some(self.config)
+    }
+
+    fn restore_config(&mut self, config: Configuration) {
+        self.config = config;
     }
 }
 

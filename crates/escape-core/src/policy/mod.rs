@@ -143,6 +143,14 @@ pub trait ElectionPolicy: std::fmt::Debug + Send {
     fn current_config(&self) -> Option<Configuration> {
         None
     }
+
+    /// Boot-time recovery: re-adopt the configuration the node held before
+    /// its crash (as rebuilt from durable storage). Policies that track no
+    /// configuration ignore this. Unlike
+    /// [`config_received`](ElectionPolicy::config_received), the recovered
+    /// configuration is adopted unconditionally — it *is* this node's
+    /// pre-crash state, not a proposal from a leader.
+    fn restore_config(&mut self, _config: Configuration) {}
 }
 
 #[cfg(test)]

@@ -48,10 +48,17 @@ impl KvStateMachine {
         self.applied
     }
 
-    /// A deterministic digest of the full map — replicas with equal
+    /// A deterministic digest of the full state — replicas with equal
     /// digests hold equal state (used by convergence tests).
+    ///
+    /// Folds in the `applied` counter, not just the map: two replicas
+    /// with equal maps but different applied counts are *not* converged
+    /// (they compare `PartialEq`-unequal), and a digest that said
+    /// otherwise would let convergence checks falsely pass.
     pub fn digest(&self) -> u64 {
         let mut h = escape_core::hash::Fnv1a::new();
+        h.write(&self.applied.to_le_bytes());
+        h.write_separator();
         for (k, v) in &self.map {
             h.write(k.as_bytes());
             h.write_separator();
@@ -139,6 +146,13 @@ impl StateMachine for KvStateMachine {
             }
             let value = buf.split_to(vlen as usize);
             restored.map.insert(key, value);
+        }
+        if buf.has_remaining() {
+            // Trailing garbage after the declared pairs: this is not a
+            // snapshot this encoder produced. Now that snapshots come off
+            // disk, treat it like any other corruption — keep the
+            // current state rather than silently adopting a partial one.
+            return;
         }
         *self = restored;
     }
@@ -258,6 +272,54 @@ mod tests {
         assert_eq!(restored, sm);
         assert_eq!(restored.digest(), sm.digest());
         assert_eq!(restored.applied_count(), sm.applied_count());
+    }
+
+    #[test]
+    fn digest_distinguishes_equal_maps_with_different_applied_counts() {
+        // Same final map, different command histories: a Put overwritten
+        // once vs. written directly. PartialEq says unequal (applied
+        // differs), so the digest must too.
+        let mut a = KvStateMachine::new();
+        apply(&mut a, 1, KvCommand::Put {
+            key: "k".into(),
+            value: Bytes::from_static(b"old"),
+        });
+        apply(&mut a, 2, KvCommand::Put {
+            key: "k".into(),
+            value: Bytes::from_static(b"new"),
+        });
+        let mut b = KvStateMachine::new();
+        apply(&mut b, 1, KvCommand::Put {
+            key: "k".into(),
+            value: Bytes::from_static(b"new"),
+        });
+        assert_eq!(a.get_local("k"), b.get_local("k"));
+        assert_ne!(a, b, "applied counts differ");
+        assert_ne!(
+            a.digest(),
+            b.digest(),
+            "digest must not report convergence for PartialEq-unequal replicas"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_trailing_garbage() {
+        let mut sm = KvStateMachine::new();
+        apply(&mut sm, 1, KvCommand::Put {
+            key: "keep".into(),
+            value: Bytes::from_static(b"me"),
+        });
+        let before = sm.clone();
+        // A valid snapshot with junk appended after the last pair.
+        let mut raw = sm.snapshot().unwrap().to_vec();
+        raw.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF]);
+        sm.restore(&Bytes::from(raw));
+        assert_eq!(sm, before, "trailing garbage must make restore a no-op");
+        // And the clean snapshot still restores fine.
+        let clean = before.snapshot().unwrap();
+        let mut other = KvStateMachine::new();
+        other.restore(&clean);
+        assert_eq!(other, before);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Snapshot files: the state machine's serialized bytes at a compaction
+//! point, written atomically (temp file + rename) with a CRC-32 over the
+//! data.
+//!
+//! On-disk layout of `snapshot-<index>.snap`:
+//!
+//! ```text
+//! [8B magic "ESCSNAP1"][u64 LE index][u64 LE term][u32 LE crc][u64 LE len][data]
+//! ```
+//!
+//! Loading scans for the highest-index file that validates, so a crash
+//! mid-write (or a corrupted newest snapshot) falls back to the previous
+//! one — which is why [`prune`] always keeps one generation of history.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use escape_core::storage::RecoveredSnapshot;
+use escape_core::types::{LogIndex, Term};
+use escape_wire::crc32;
+
+/// Magic bytes opening every snapshot file (name + format version).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"ESCSNAP1";
+
+fn snapshot_path(dir: &Path, index: LogIndex) -> PathBuf {
+    dir.join(format!("snapshot-{:016}.snap", index.get()))
+}
+
+/// Parses a `snapshot-<index>.snap` file name back into its index.
+fn snapshot_index(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("snapshot-")?.strip_suffix(".snap")?;
+    rest.parse().ok()
+}
+
+/// Writes a durable snapshot file for `(index, term, data)`.
+///
+/// The bytes land in a `.tmp` file first, are synced, and only then
+/// renamed into place — a crash at any point leaves either the old
+/// snapshot set or the complete new file, never a half-written one under
+/// the real name.
+///
+/// # Errors
+///
+/// I/O errors writing, syncing, or renaming.
+pub fn write(dir: &Path, index: LogIndex, term: Term, data: &Bytes) -> io::Result<PathBuf> {
+    let final_path = snapshot_path(dir, index);
+    let tmp_path = final_path.with_extension("tmp");
+    {
+        let mut file = File::create(&tmp_path)?;
+        file.write_all(SNAPSHOT_MAGIC)?;
+        file.write_all(&index.get().to_le_bytes())?;
+        file.write_all(&term.get().to_le_bytes())?;
+        file.write_all(&crc32(data).to_le_bytes())?;
+        file.write_all(&(data.len() as u64).to_le_bytes())?;
+        file.write_all(data)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    crate::wal::sync_dir(dir);
+    Ok(final_path)
+}
+
+/// Reads and validates one snapshot file.
+fn read_one(path: &Path) -> io::Result<RecoveredSnapshot> {
+    let mut file = File::open(path)?;
+    let mut header = [0u8; 8 + 8 + 8 + 4 + 8];
+    file.read_exact(&mut header)?;
+    if &header[..8] != SNAPSHOT_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot magic"));
+    }
+    let index = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let term = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    let expected_crc = u32::from_le_bytes(header[24..28].try_into().unwrap());
+    let len = u64::from_le_bytes(header[28..36].try_into().unwrap()) as usize;
+    let mut data = vec![0u8; len];
+    file.read_exact(&mut data)?;
+    if crc32(&data) != expected_crc {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "snapshot crc mismatch"));
+    }
+    Ok(RecoveredSnapshot {
+        index: LogIndex::new(index),
+        term: Term::new(term),
+        data: Bytes::from(data),
+    })
+}
+
+/// All snapshot files in `dir`, sorted by index ascending.
+fn list(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(index) = snapshot_index(name) {
+            found.push((index, entry.path()));
+        }
+    }
+    found.sort_unstable();
+    Ok(found)
+}
+
+/// Loads the newest snapshot that validates, trying older ones if the
+/// newest is torn or corrupt.
+///
+/// # Errors
+///
+/// I/O errors listing the directory (individual bad files are skipped,
+/// not errors).
+pub fn load_latest(dir: &Path) -> io::Result<Option<RecoveredSnapshot>> {
+    for (_, path) in list(dir)?.into_iter().rev() {
+        if let Ok(snapshot) = read_one(&path) {
+            return Ok(Some(snapshot));
+        }
+    }
+    Ok(None)
+}
+
+/// Deletes all but the newest `keep` snapshot files (and any stale
+/// `.tmp` leftovers).
+///
+/// # Errors
+///
+/// I/O errors listing or removing files.
+pub fn prune(dir: &Path, keep: usize) -> io::Result<()> {
+    let snapshots = list(dir)?;
+    let cut = snapshots.len().saturating_sub(keep);
+    for (_, path) in &snapshots[..cut] {
+        fs::remove_file(path)?;
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "tmp") {
+            fs::remove_file(path)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::scratch_dir;
+
+    #[test]
+    fn write_load_round_trips() {
+        let dir = scratch_dir("snap-roundtrip");
+        let data = Bytes::from_static(b"machine-state");
+        write(&dir, LogIndex::new(42), Term::new(3), &data).unwrap();
+        let loaded = load_latest(&dir).unwrap().expect("snapshot present");
+        assert_eq!(loaded.index, LogIndex::new(42));
+        assert_eq!(loaded.term, Term::new(3));
+        assert_eq!(loaded.data, data);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let dir = scratch_dir("snap-fallback");
+        write(&dir, LogIndex::new(10), Term::new(1), &Bytes::from_static(b"old")).unwrap();
+        let newest = write(
+            &dir,
+            LogIndex::new(20),
+            Term::new(2),
+            &Bytes::from_static(b"new"),
+        )
+        .unwrap();
+        // Flip a data byte in the newest file.
+        let mut raw = fs::read(&newest).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        fs::write(&newest, raw).unwrap();
+        let loaded = load_latest(&dir).unwrap().expect("fallback snapshot");
+        assert_eq!(loaded.index, LogIndex::new(10));
+        assert_eq!(loaded.data.as_ref(), b"old");
+    }
+
+    #[test]
+    fn empty_dir_loads_none() {
+        let dir = scratch_dir("snap-empty");
+        assert!(load_latest(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = scratch_dir("snap-prune");
+        for i in 1..=5u64 {
+            write(
+                &dir,
+                LogIndex::new(i * 10),
+                Term::new(1),
+                &Bytes::from(vec![i as u8]),
+            )
+            .unwrap();
+        }
+        prune(&dir, 2).unwrap();
+        let left = list(&dir).unwrap();
+        assert_eq!(left.len(), 2);
+        assert_eq!(left[0].0, 40);
+        assert_eq!(left[1].0, 50);
+    }
+}

@@ -1,0 +1,383 @@
+//! Append-only, CRC-framed, segment-rotated write-ahead log.
+//!
+//! On-disk layout inside a data directory:
+//!
+//! ```text
+//! wal-0000000000000001.log      [8-byte magic "ESCWAL01"][record]...
+//! wal-0000000000000002.log      (rotated when a segment passes the cap)
+//! ```
+//!
+//! Each record is `[u32 LE len][u32 LE CRC-32][payload]`
+//! ([`escape_wire::record`]); payloads are [`WalRecord`] encodings.
+//! Readers replay segments in sequence order and treat the first framing
+//! or checksum violation as the end of usable log (a torn tail write from
+//! the crash the WAL exists to survive). Writers never append to a
+//! recovered segment — reopening always starts a fresh one, so a torn
+//! tail can never be extended with valid records behind it.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::{Bytes, BytesMut};
+use escape_wire::record::{read_record, write_record, DEFAULT_MAX_RECORD};
+
+use crate::record::WalRecord;
+
+/// Magic bytes opening every WAL segment (name + format version).
+pub const SEGMENT_MAGIC: &[u8; 8] = b"ESCWAL01";
+
+/// Default segment-rotation threshold (4 MiB).
+pub const DEFAULT_SEGMENT_MAX_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Write-ahead-log tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalOptions {
+    /// Rotate to a fresh segment once the active one passes this size.
+    pub segment_max_bytes: u64,
+    /// Whether [`Wal::sync`] issues a real `fdatasync`. Disable only for
+    /// tests that model the fsync-less case.
+    pub fsync: bool,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            segment_max_bytes: DEFAULT_SEGMENT_MAX_BYTES,
+            fsync: true,
+        }
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:016}.log"))
+}
+
+/// Parses a `wal-<seq>.log` file name back into its sequence number.
+fn segment_seq(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    rest.parse().ok()
+}
+
+/// Best-effort directory fsync, so a freshly created/renamed file name is
+/// durable too (POSIX requires syncing the parent directory for that).
+pub(crate) fn sync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+/// All WAL segments in `dir`, sorted by sequence number.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = segment_seq(name) {
+            segments.push((seq, entry.path()));
+        }
+    }
+    segments.sort_unstable();
+    Ok(segments)
+}
+
+/// One segment's parse result: the records of its intact prefix, plus
+/// where (in file bytes) that prefix ends if the tail is torn.
+struct SegmentScan {
+    records: Vec<WalRecord>,
+    /// `Some(offset)` when a framing/CRC violation cut the scan short;
+    /// `offset` is the file position right after the last intact record.
+    torn_at: Option<u64>,
+    /// The file had no (complete) magic header at all.
+    headerless: bool,
+}
+
+fn scan_segment(raw: Vec<u8>) -> SegmentScan {
+    if raw.len() < SEGMENT_MAGIC.len() || &raw[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return SegmentScan {
+            records: Vec::new(),
+            torn_at: None,
+            headerless: true,
+        };
+    }
+    let total = raw.len();
+    let mut bytes = Bytes::from(raw).slice(SEGMENT_MAGIC.len()..);
+    let mut records = Vec::new();
+    let mut torn_at = None;
+    loop {
+        let good = (total - bytes.len()) as u64;
+        match read_record(&mut bytes, DEFAULT_MAX_RECORD) {
+            Ok(Some(mut payload)) => match WalRecord::decode(&mut payload) {
+                Ok(record) => records.push(record),
+                Err(_) => {
+                    torn_at = Some(good);
+                    break;
+                }
+            },
+            Ok(None) => break,
+            Err(_) => {
+                torn_at = Some(good);
+                break;
+            }
+        }
+    }
+    SegmentScan {
+        records,
+        torn_at,
+        headerless: false,
+    }
+}
+
+/// Replays every intact record in `dir`'s segments, in write order,
+/// **read-only**: the scan stops at the first framing/CRC violation and
+/// ignores any later segment. Use [`recover`] on the open path — it
+/// repairs the torn tail so later segments stay reachable on the *next*
+/// open.
+///
+/// # Errors
+///
+/// Only on I/O failures reading the directory or files.
+pub fn replay(dir: &Path) -> io::Result<Vec<WalRecord>> {
+    let mut records = Vec::new();
+    for (_, path) in list_segments(dir)? {
+        let scan = scan_segment(fs::read(&path)?);
+        records.extend(scan.records);
+        if scan.headerless || scan.torn_at.is_some() {
+            break;
+        }
+    }
+    Ok(records)
+}
+
+/// Replays `dir`'s segments like [`replay`], and **repairs** crash
+/// damage so it cannot compound:
+///
+/// * A torn record (or missing header) in the **newest** segment is the
+///   tail write of the crash being recovered from — never synced, never
+///   acked. The segment is truncated back to its intact prefix (or
+///   removed, if headerless), so a later open replays straight through
+///   into any segments written after this recovery. Without the repair,
+///   the *next* restart would stop at the tear and silently forget every
+///   newer segment — including fsync'd, acked votes.
+/// * Damage in an **older** segment is not a crash artifact (later
+///   segments were written by a process that had read past this point):
+///   it is real corruption, and recovering around it would apply newer
+///   records over a gap. That is refused outright.
+///
+/// # Errors
+///
+/// I/O failures, or [`io::ErrorKind::InvalidData`] for mid-log
+/// corruption as described above.
+pub fn recover(dir: &Path) -> io::Result<Vec<WalRecord>> {
+    let segments = list_segments(dir)?;
+    let last = segments.len().saturating_sub(1);
+    let mut records = Vec::new();
+    for (i, (seq, path)) in segments.into_iter().enumerate() {
+        let scan = scan_segment(fs::read(&path)?);
+        let damaged = scan.headerless || scan.torn_at.is_some();
+        if damaged && i != last {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "WAL segment {seq} is corrupt mid-log (later segments exist); \
+                     refusing to recover over the gap"
+                ),
+            ));
+        }
+        records.extend(scan.records);
+        if scan.headerless {
+            // A crash inside segment creation: no header ever landed.
+            fs::remove_file(&path)?;
+            sync_dir(dir);
+        } else if let Some(offset) = scan.torn_at {
+            let file = OpenOptions::new().write(true).open(&path)?;
+            file.set_len(offset)?;
+            file.sync_all()?;
+        }
+    }
+    Ok(records)
+}
+
+/// The active write-ahead log: an open segment plus rotation bookkeeping.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    options: WalOptions,
+    file: File,
+    seq: u64,
+    written: u64,
+    scratch: BytesMut,
+}
+
+impl Wal {
+    /// Opens a *fresh* segment with sequence `seq` in `dir` (recovery
+    /// never appends to an existing segment).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the segment file.
+    pub fn create(dir: &Path, seq: u64, options: WalOptions) -> io::Result<Wal> {
+        let path = segment_path(dir, seq);
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)?;
+        file.write_all(SEGMENT_MAGIC)?;
+        if options.fsync {
+            file.sync_data()?;
+        }
+        sync_dir(dir);
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            options,
+            file,
+            seq,
+            written: SEGMENT_MAGIC.len() as u64,
+            scratch: BytesMut::new(),
+        })
+    }
+
+    /// The active segment's sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Appends one record (buffered until [`Wal::sync`]), rotating first
+    /// if the active segment is over the cap.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing or rotating.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        if self.written >= self.options.segment_max_bytes {
+            self.rotate()?;
+        }
+        let payload = record.to_bytes();
+        self.scratch.clear();
+        write_record(&mut self.scratch, &payload);
+        self.file.write_all(&self.scratch)?;
+        self.written += self.scratch.len() as u64;
+        Ok(())
+    }
+
+    /// Closes the active segment (synced) and opens the next one.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors syncing the old segment or creating the new one.
+    pub fn rotate(&mut self) -> io::Result<()> {
+        self.sync()?;
+        let next = Wal::create(&self.dir, self.seq + 1, self.options)?;
+        *self = next;
+        Ok(())
+    }
+
+    /// Makes everything appended so far durable (`fdatasync`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the sync.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.options.fsync {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Deletes every segment with a sequence number below `seq` — called
+    /// after a snapshot makes their records redundant.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors listing or removing files.
+    pub fn delete_segments_below(&mut self, seq: u64) -> io::Result<()> {
+        for (old_seq, path) in list_segments(&self.dir)? {
+            if old_seq < seq {
+                fs::remove_file(path)?;
+            }
+        }
+        sync_dir(&self.dir);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::scratch_dir;
+    use escape_core::types::{ServerId, Term};
+
+    fn hard_state(term: u64) -> WalRecord {
+        WalRecord::HardState {
+            term: Term::new(term),
+            voted_for: Some(ServerId::new(1)),
+        }
+    }
+
+    #[test]
+    fn append_sync_replay_round_trips() {
+        let dir = scratch_dir("wal-roundtrip");
+        let mut wal = Wal::create(&dir, 1, WalOptions::default()).unwrap();
+        for term in 1..=5 {
+            wal.append(&hard_state(term)).unwrap();
+        }
+        wal.sync().unwrap();
+        let records = replay(&dir).unwrap();
+        assert_eq!(records.len(), 5);
+        assert_eq!(records[4], hard_state(5));
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replay_spans_them() {
+        let dir = scratch_dir("wal-rotate");
+        let opts = WalOptions {
+            segment_max_bytes: 64, // force frequent rotation
+            fsync: false,
+        };
+        let mut wal = Wal::create(&dir, 1, opts).unwrap();
+        for term in 1..=40 {
+            wal.append(&hard_state(term)).unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(wal.seq() > 1, "rotation must have happened");
+        assert!(list_segments(&dir).unwrap().len() > 1);
+        let records = replay(&dir).unwrap();
+        assert_eq!(records.len(), 40);
+        assert_eq!(records[39], hard_state(40));
+    }
+
+    #[test]
+    fn torn_tail_stops_replay_cleanly() {
+        let dir = scratch_dir("wal-torn");
+        let mut wal = Wal::create(&dir, 1, WalOptions::default()).unwrap();
+        for term in 1..=3 {
+            wal.append(&hard_state(term)).unwrap();
+        }
+        wal.sync().unwrap();
+        // Tear the last record by chopping bytes off the segment.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..raw.len() - 5]).unwrap();
+        let records = replay(&dir).unwrap();
+        assert_eq!(records.len(), 2, "intact prefix survives, torn record dropped");
+    }
+
+    #[test]
+    fn segment_pruning_removes_only_older() {
+        let dir = scratch_dir("wal-prune");
+        let opts = WalOptions {
+            segment_max_bytes: 64,
+            fsync: false,
+        };
+        let mut wal = Wal::create(&dir, 1, opts).unwrap();
+        for term in 1..=40 {
+            wal.append(&hard_state(term)).unwrap();
+        }
+        let keep = wal.seq();
+        wal.delete_segments_below(keep).unwrap();
+        let left = list_segments(&dir).unwrap();
+        assert!(left.iter().all(|(seq, _)| *seq >= keep));
+        assert!(!left.is_empty());
+    }
+}

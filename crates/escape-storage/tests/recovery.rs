@@ -1,0 +1,268 @@
+//! Engine-level recovery: a crashed `Node` rebuilt from its `WalStorage`
+//! data directory must resume with its pre-crash term, vote, log, and
+//! configuration — the exact state the Raft and ESCAPE §IV-B safety
+//! arguments assume survives failures.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+
+use escape_core::config::EscapeParams;
+use escape_core::engine::{Action, Node};
+use escape_core::log::LogPosition;
+use escape_core::message::{AppendEntriesArgs, Message, RequestVoteArgs, RequestVoteReply};
+use escape_core::policy::EscapePolicy;
+use escape_core::time::Time;
+use escape_core::types::{ConfClock, LogIndex, Priority, Role, ServerId, Term};
+use escape_storage::WalStorage;
+
+fn scratch_dir(label: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "escape-recovery-test-{}-{label}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn ids(n: u32) -> Vec<ServerId> {
+    (1..=n).map(ServerId::new).collect()
+}
+
+/// Builds node `id` of an `n`-node ESCAPE cluster on `dir`.
+fn escape_node(id: u32, n: u32, dir: &PathBuf) -> Node {
+    let (storage, recovered) = WalStorage::open(dir).expect("open storage");
+    let id = ServerId::new(id);
+    Node::builder(id, ids(n))
+        .policy(Box::new(EscapePolicy::new(
+            id,
+            EscapeParams::paper_defaults(n as usize),
+        )))
+        .storage(Box::new(storage))
+        .recover(recovered)
+        .build()
+}
+
+fn vote_request(candidate: u32, term: u64, clock: Option<u64>) -> Message {
+    Message::RequestVote(RequestVoteArgs {
+        term: Term::new(term),
+        candidate_id: ServerId::new(candidate),
+        last_log_index: LogIndex::new(100), // comfortably up-to-date
+        last_log_term: Term::new(term),
+        conf_clock: clock.map(ConfClock::new),
+    })
+}
+
+fn granted(actions: &[Action]) -> Option<bool> {
+    actions.iter().find_map(|a| match a {
+        Action::Send {
+            msg: Message::RequestVoteReply(RequestVoteReply { vote_granted, .. }),
+            ..
+        } => Some(*vote_granted),
+        _ => None,
+    })
+}
+
+/// Election Safety across a crash: a voter that granted S2 its vote in
+/// term 7 must still refuse S3 the same term after rebooting — the
+/// precise bug an amnesiac (memory-only) node exhibits.
+#[test]
+fn recovered_voter_cannot_double_vote() {
+    let dir = scratch_dir("double-vote");
+    {
+        let mut node = escape_node(1, 5, &dir);
+        node.start(Time::ZERO);
+        let actions = node.handle_message(ServerId::new(2), vote_request(2, 7, Some(9)), Time::ZERO);
+        assert_eq!(granted(&actions), Some(true), "first vote should be granted");
+        // Crash: node dropped, nothing flushed beyond what the engine
+        // already synced before returning the reply action.
+    }
+    let mut rebooted = escape_node(1, 5, &dir);
+    assert_eq!(rebooted.current_term(), Term::new(7));
+    assert_eq!(rebooted.voted_for(), Some(ServerId::new(2)));
+    rebooted.start(Time::ZERO);
+    let actions =
+        rebooted.handle_message(ServerId::new(3), vote_request(3, 7, Some(9)), Time::ZERO);
+    assert_eq!(
+        granted(&actions),
+        Some(false),
+        "Election Safety: the pre-crash vote must fence a second grant in term 7"
+    );
+    // The original candidate is still re-grantable (idempotent).
+    let actions =
+        rebooted.handle_message(ServerId::new(2), vote_request(2, 7, Some(9)), Time::ZERO);
+    assert_eq!(granted(&actions), Some(true));
+}
+
+/// A leader's own appends (no-op + proposals) and its campaign hard state
+/// are rebuilt from the WAL.
+#[test]
+fn recovered_leader_keeps_term_and_log() {
+    let dir = scratch_dir("leader-log");
+    let pre_crash_term;
+    let pre_crash_last;
+    {
+        let mut node = escape_node(1, 3, &dir);
+        let actions = node.start(Time::ZERO);
+        let (token, deadline) = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer { token, deadline } => Some((*token, *deadline)),
+                _ => None,
+            })
+            .expect("election timer armed");
+        node.handle_timer(token, deadline);
+        assert_eq!(node.role(), Role::Candidate);
+        // Both peers grant.
+        for peer in [2u32, 3] {
+            node.handle_message(
+                ServerId::new(peer),
+                Message::RequestVoteReply(RequestVoteReply {
+                    term: node.current_term(),
+                    vote_granted: true,
+                }),
+                deadline,
+            );
+        }
+        assert!(node.is_leader());
+        for cmd in [b"a".as_slice(), b"b", b"c"] {
+            node.propose(Bytes::copy_from_slice(cmd), deadline)
+                .expect("leader accepts");
+        }
+        pre_crash_term = node.current_term();
+        pre_crash_last = node.log().last_index();
+        assert_eq!(pre_crash_last, LogIndex::new(4), "no-op + 3 commands");
+    }
+    let rebooted = escape_node(1, 3, &dir);
+    assert_eq!(rebooted.current_term(), pre_crash_term);
+    assert_eq!(rebooted.voted_for(), Some(ServerId::new(1)));
+    assert_eq!(rebooted.log().last_index(), pre_crash_last);
+    assert_eq!(
+        rebooted.role(),
+        Role::Follower,
+        "leadership is volatile: a rebooted leader must re-earn it"
+    );
+}
+
+/// §IV-B / Fig. 5b: the configuration clock survives the crash, so an
+/// intact rebooted voter keeps fencing off stale candidates — while a
+/// node whose data directory was wiped boots back at clock zero and gets
+/// fenced itself.
+#[test]
+fn conf_clock_survives_crash_and_fences_stale_candidates() {
+    let dir = scratch_dir("conf-clock");
+    let assigned = escape_core::config::Configuration::new(
+        escape_core::time::Duration::from_millis(1500),
+        Priority::new(5),
+        ConfClock::new(6),
+    );
+    {
+        let mut node = escape_node(2, 5, &dir);
+        node.start(Time::ZERO);
+        // The leader's heartbeat assigns a clock-6 configuration.
+        node.handle_message(
+            ServerId::new(1),
+            Message::AppendEntries(AppendEntriesArgs {
+                term: Term::new(3),
+                leader_id: ServerId::new(1),
+                prev_log_index: LogIndex::ZERO,
+                prev_log_term: Term::ZERO,
+                entries: Vec::new(),
+                leader_commit: LogIndex::ZERO,
+                new_config: Some(assigned),
+            }),
+            Time::ZERO,
+        );
+        assert_eq!(node.current_config(), Some(assigned));
+    }
+    let mut rebooted = escape_node(2, 5, &dir);
+    assert_eq!(
+        rebooted.current_config(),
+        Some(assigned),
+        "the adopted configuration must survive the crash"
+    );
+    rebooted.start(Time::ZERO);
+    // A candidate still campaigning on the boot clock (zero) — i.e. one
+    // that recovered with a wiped data directory — is refused...
+    let actions =
+        rebooted.handle_message(ServerId::new(3), vote_request(3, 9, Some(0)), Time::ZERO);
+    assert_eq!(granted(&actions), Some(false), "stale confClock must be fenced");
+    // ...while a candidate at the current clock is admissible.
+    let actions =
+        rebooted.handle_message(ServerId::new(4), vote_request(4, 9, Some(6)), Time::ZERO);
+    assert_eq!(granted(&actions), Some(true));
+}
+
+/// Follower-side conflict truncation is replayed through the WAL: the
+/// rebooted log matches what the pre-crash `try_append` sequence built.
+#[test]
+fn recovered_follower_log_matches_pre_crash_truncation() {
+    let dir = scratch_dir("truncation");
+    let append = |term: u64, prev: (u64, u64), entries: Vec<(u64, u64, &'static [u8])>| {
+        Message::AppendEntries(AppendEntriesArgs {
+            term: Term::new(term),
+            leader_id: ServerId::new(1),
+            prev_log_index: LogIndex::new(prev.0),
+            prev_log_term: Term::new(prev.1),
+            entries: entries
+                .into_iter()
+                .map(|(t, i, c)| escape_core::log::Entry {
+                    term: Term::new(t),
+                    index: LogIndex::new(i),
+                    payload: escape_core::log::Payload::Command(Bytes::from_static(c)),
+                })
+                .collect(),
+            leader_commit: LogIndex::ZERO,
+            new_config: None,
+        })
+    };
+    let expected_last;
+    {
+        let mut node = escape_node(2, 3, &dir);
+        node.start(Time::ZERO);
+        node.handle_message(
+            ServerId::new(1),
+            append(1, (0, 0), vec![(1, 1, b"a"), (1, 2, b"b"), (1, 3, b"c")]),
+            Time::ZERO,
+        );
+        // A new leader in term 2 truncates 2..3 down to one entry.
+        node.handle_message(ServerId::new(1), append(2, (1, 1), vec![(2, 2, b"B")]), Time::ZERO);
+        expected_last = node.log().last_position();
+        assert_eq!(
+            expected_last,
+            LogPosition {
+                index: LogIndex::new(2),
+                term: Term::new(2)
+            }
+        );
+    }
+    let rebooted = escape_node(2, 3, &dir);
+    assert_eq!(rebooted.log().last_position(), expected_last);
+    assert_eq!(rebooted.log().len(), 2);
+}
+
+/// A wiped data directory recovers nothing — the "outdated configuration"
+/// server of Fig. 5b — and the engine boots it as a pristine follower.
+#[test]
+fn wiped_directory_boots_pristine() {
+    let dir = scratch_dir("wiped");
+    {
+        let mut node = escape_node(3, 5, &dir);
+        node.start(Time::ZERO);
+        node.handle_message(ServerId::new(2), vote_request(2, 12, Some(8)), Time::ZERO);
+    }
+    // Wipe and reboot: term, vote, and clock are all gone.
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::create_dir_all(&dir).unwrap();
+    let rebooted = escape_node(3, 5, &dir);
+    assert_eq!(rebooted.current_term(), Term::ZERO);
+    assert_eq!(rebooted.voted_for(), None);
+    assert_eq!(
+        rebooted.current_config().unwrap().conf_clock,
+        ConfClock::ZERO,
+        "a wiped node is back on the boot clock — exactly what intact voters fence"
+    );
+}

@@ -37,4 +37,4 @@ pub mod tcp;
 pub use inproc::{ClientError, InprocCluster};
 pub use runtime::{NodeInput, NodeStatus};
 pub use spec::ProtocolSpec;
-pub use tcp::{loopback_addrs, TcpNode};
+pub use tcp::{loopback_listeners, TcpNode};

@@ -1,15 +1,30 @@
 //! TCP transport: a full mesh of length-prefixed framed connections using
 //! the `escape-wire` codec.
 //!
-//! Each node owns a listener; inbound connections get a reader thread that
-//! parses frames into [`Envelope`]s and forwards them to the node loop.
-//! Outbound connections are opened lazily per peer and dropped on error
-//! (the next send reconnects) — message loss during reconnection is just
-//! network loss to the protocol.
+//! Each node runs an acceptor on a caller-supplied listener; inbound
+//! connections get a reader thread that parses frames into [`Envelope`]s
+//! and forwards them to the node loop. Outbound connections are opened
+//! lazily per peer and dropped on error (the next send reconnects) —
+//! message loss during reconnection is just network loss to the protocol.
+//!
+//! Listeners are **bound by the caller and passed in** (see
+//! [`loopback_listeners`]): binding inside `spawn` from a probed address
+//! was a TOCTOU race (another process could take the port between probe
+//! and bind), and holding the listener outside the node is also what lets
+//! a killed node be restarted on the same address without rebinding — the
+//! kill-and-restart durability test depends on it.
+//!
+//! With a `data_dir`, the node persists term/vote/log/configuration
+//! through `escape-storage` and recovers them on the next spawn from the
+//! same directory; the engine syncs the WAL before any message it
+//! produced is handed to this transport, so a vote a peer has seen is
+//! always on disk.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -21,6 +36,7 @@ use escape_core::engine::Node;
 use escape_core::message::Message;
 use escape_core::statemachine::StateMachine;
 use escape_core::types::ServerId;
+use escape_storage::WalStorage;
 use escape_wire::{write_frame, Decode, Encode, Envelope, FrameReader};
 
 use crate::clock::RuntimeClock;
@@ -70,30 +86,39 @@ impl Outbound for TcpOutbound {
     }
 }
 
-/// One TCP consensus node: its listener, reader threads, and node loop.
+/// One TCP consensus node: its acceptor, reader threads, and node loop.
 #[derive(Debug)]
 pub struct TcpNode {
     id: ServerId,
+    my_addr: SocketAddr,
     inbox: Sender<NodeInput>,
+    stop_accepting: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
 
 impl TcpNode {
     /// Boots server `id` of a cluster whose listen addresses are `addrs`
-    /// (every node must appear, including `id` itself).
+    /// (every node must appear, including `id` itself), accepting on the
+    /// caller-bound `listener`.
+    ///
+    /// With `data_dir`, persistent state (term, vote, log, configuration,
+    /// snapshots) is recovered from and written to that directory via
+    /// `escape-storage`; `None` runs memory-only (tests, demos).
     ///
     /// # Panics
     ///
-    /// Panics if `addrs` lacks `id` or the listener cannot bind.
+    /// Panics if `addrs` lacks `id` or the data directory cannot be
+    /// opened/recovered (a node that cannot persist must not serve).
     pub fn spawn(
         id: ServerId,
+        listener: TcpListener,
         addrs: HashMap<ServerId, SocketAddr>,
         spec: ProtocolSpec,
         seed: u64,
         state_machine: Box<dyn StateMachine>,
+        data_dir: Option<&Path>,
     ) -> Self {
         let my_addr = *addrs.get(&id).expect("own address present");
-        let listener = TcpListener::bind(my_addr).expect("bind listener");
         let ids: Vec<ServerId> = {
             let mut v: Vec<ServerId> = addrs.keys().copied().collect();
             v.sort_unstable();
@@ -102,16 +127,23 @@ impl TcpNode {
         let n = ids.len();
 
         let (tx, rx) = unbounded::<NodeInput>();
+        let stop_accepting = Arc::new(AtomicBool::new(false));
         let mut threads = Vec::new();
 
-        // Acceptor: one reader thread per inbound connection.
+        // Acceptor: one reader thread per inbound connection. It checks
+        // the stop flag after every accept; `stop_acceptor` wakes it with
+        // a throwaway connection so shutdown does not block on `incoming`.
         {
             let tx = tx.clone();
+            let stop = stop_accepting.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("escape-tcp-accept-{}", id.get()))
                     .spawn(move || {
                         for stream in listener.incoming() {
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
                             let Ok(stream) = stream else { break };
                             stream.set_nodelay(true).ok();
                             let tx = tx.clone();
@@ -124,11 +156,16 @@ impl TcpNode {
             );
         }
 
-        let node = Node::builder(id, ids)
+        let mut builder = Node::builder(id, ids)
             .policy(spec.build_policy(id, n, seed.wrapping_add(id.get() as u64)))
             .state_machine(state_machine)
-            .options(ProtocolSpec::local_options())
-            .build();
+            .options(ProtocolSpec::local_options());
+        if let Some(dir) = data_dir {
+            let (storage, recovered) =
+                WalStorage::open(dir).expect("open/recover node data directory");
+            builder = builder.storage(Box::new(storage)).recover(recovered);
+        }
+        let node = builder.build();
         let outbound: Arc<dyn Outbound + Sync> = Arc::new(TcpOutbound {
             from: id,
             addrs,
@@ -144,7 +181,9 @@ impl TcpNode {
 
         TcpNode {
             id,
+            my_addr,
             inbox: tx,
+            stop_accepting,
             threads,
         }
     }
@@ -159,15 +198,34 @@ impl TcpNode {
         self.inbox.clone()
     }
 
-    /// Requests shutdown; the acceptor thread is detached by dropping its
-    /// listener-side connections (process exit cleans up the rest).
+    fn stop_acceptor(&self) {
+        self.stop_accepting.store(true, Ordering::Release);
+        // Wake the blocking accept; the flag makes it exit.
+        let _ = TcpStream::connect_timeout(&self.my_addr, std::time::Duration::from_millis(250));
+    }
+
+    /// Stops the node and joins its threads.
+    ///
+    /// There is deliberately no flush-on-exit here: all durability
+    /// happened record-by-record before each message was sent, so a
+    /// "graceful" shutdown and a SIGKILL leave identical data directories
+    /// — which is what [`TcpNode::kill`] (and the kill-and-restart test)
+    /// rely on.
     pub fn shutdown(self) {
         let _ = self.inbox.send(NodeInput::Shutdown);
-        // Join only the node loop (last handle); the acceptor blocks in
-        // `incoming()` and is reclaimed at process exit.
-        if let Some(handle) = self.threads.into_iter().last() {
+        self.stop_acceptor();
+        for handle in self.threads {
             let _ = handle.join();
         }
+    }
+
+    /// Crash the node: stop its threads with no goodbye to peers and no
+    /// final flush — durability-wise identical to a SIGKILL, because
+    /// every persistent mutation was already fsync'd before the message
+    /// it produced left the node. Spawn a new node on the same listener
+    /// (clone) and data directory to model a process restart.
+    pub fn kill(self) {
+        self.shutdown();
     }
 }
 
@@ -200,16 +258,27 @@ fn read_loop(mut stream: TcpStream, tx: Sender<NodeInput>) {
     }
 }
 
-/// Allocates `n` loopback addresses with OS-assigned free ports.
-pub fn loopback_addrs(n: usize) -> HashMap<ServerId, SocketAddr> {
-    (1..=n as u32)
-        .map(|i| {
-            let listener = TcpListener::bind("127.0.0.1:0").expect("probe free port");
-            let addr = listener.local_addr().expect("local addr");
-            // Listener drops here; the port is free for the node to bind.
-            (ServerId::new(i), addr)
-        })
-        .collect()
+/// Binds `n` loopback listeners on OS-assigned free ports and returns
+/// them **held open** alongside the address map.
+///
+/// The previous probe-then-rebind approach (bind, read the port, drop the
+/// listener, bind again later inside the node) was a TOCTOU race: any
+/// other process could take the port in the gap, flaking the TCP tests in
+/// CI. Holding the bound listener and handing the node a
+/// [`TcpListener::try_clone`] closes the race — and keeps the port
+/// reserved across a node kill/restart cycle.
+pub fn loopback_listeners(
+    n: usize,
+) -> (HashMap<ServerId, SocketAddr>, HashMap<ServerId, TcpListener>) {
+    let mut addrs = HashMap::new();
+    let mut listeners = HashMap::new();
+    for i in 1..=n as u32 {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+        let addr = listener.local_addr().expect("local addr");
+        addrs.insert(ServerId::new(i), addr);
+        listeners.insert(ServerId::new(i), listener);
+    }
+    (addrs, listeners)
 }
 
 #[cfg(test)]
@@ -218,70 +287,248 @@ mod tests {
     use crate::runtime::NodeStatus;
     use bytes::Bytes;
     use crossbeam::channel::bounded;
-    use escape_core::types::Role;
+    use escape_core::types::{Role, Term};
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicU64;
+    use std::time::{Duration, Instant};
+
+    fn scratch_dir(label: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "escape-tcp-test-{}-{label}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    fn spawn_node(
+        id: u32,
+        addrs: &HashMap<ServerId, SocketAddr>,
+        listeners: &HashMap<ServerId, TcpListener>,
+        data_dir: Option<&Path>,
+    ) -> TcpNode {
+        let id = ServerId::new(id);
+        TcpNode::spawn(
+            id,
+            listeners[&id].try_clone().expect("clone listener"),
+            addrs.clone(),
+            ProtocolSpec::escape_local(),
+            99,
+            Box::new(escape_core::statemachine::NullStateMachine),
+            data_dir,
+        )
+    }
 
     fn status_of(node: &TcpNode) -> Option<NodeStatus> {
         let (tx, rx) = bounded(1);
         node.inbox().send(NodeInput::Query { reply: tx }).ok()?;
-        rx.recv_timeout(std::time::Duration::from_secs(1)).ok()
+        rx.recv_timeout(Duration::from_secs(1)).ok()
     }
 
-    #[test]
-    fn tcp_cluster_elects_and_commits() {
-        let addrs = loopback_addrs(3);
-        let nodes: Vec<TcpNode> = (1..=3u32)
-            .map(|i| {
-                TcpNode::spawn(
-                    ServerId::new(i),
-                    addrs.clone(),
-                    ProtocolSpec::escape_local(),
-                    99,
-                    Box::new(escape_core::statemachine::NullStateMachine),
-                )
-            })
-            .collect();
-
-        // Wait for a leader over real sockets.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
-        let leader_index = loop {
-            assert!(
-                std::time::Instant::now() < deadline,
-                "no TCP leader within 10s"
-            );
+    fn wait_for_leader(nodes: &[TcpNode], timeout: Duration) -> usize {
+        let deadline = Instant::now() + timeout;
+        loop {
+            assert!(Instant::now() < deadline, "no TCP leader within {timeout:?}");
             if let Some(i) = nodes
                 .iter()
                 .position(|n| status_of(n).is_some_and(|s| s.role == Role::Leader))
             {
-                break i;
+                return i;
             }
-            std::thread::sleep(std::time::Duration::from_millis(25));
-        };
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
 
-        // Propose through the leader and wait for the commit to apply.
+    fn propose_and_apply(node: &TcpNode, command: &'static [u8]) -> escape_core::types::LogIndex {
         let (tx, rx) = bounded(1);
-        nodes[leader_index]
-            .inbox()
+        node.inbox()
             .send(NodeInput::Propose {
-                command: Bytes::from_static(b"over-tcp"),
+                command: Bytes::from_static(command),
                 reply: tx,
             })
             .unwrap();
         let index = rx
-            .recv_timeout(std::time::Duration::from_secs(2))
+            .recv_timeout(Duration::from_secs(2))
             .expect("reply")
             .expect("accepted");
         let (atx, arx) = bounded(1);
-        nodes[leader_index]
-            .inbox()
-            .send(NodeInput::AwaitApplied {
-                index,
-                reply: atx,
-            })
+        node.inbox()
+            .send(NodeInput::AwaitApplied { index, reply: atx })
             .unwrap();
-        arx.recv_timeout(std::time::Duration::from_secs(5))
-            .expect("applied over TCP");
+        arx.recv_timeout(Duration::from_secs(5)).expect("applied over TCP");
+        index
+    }
+
+    #[test]
+    fn tcp_cluster_elects_and_commits() {
+        let (addrs, listeners) = loopback_listeners(3);
+        let nodes: Vec<TcpNode> = (1..=3u32)
+            .map(|i| spawn_node(i, &addrs, &listeners, None))
+            .collect();
+
+        let leader_index = wait_for_leader(&nodes, Duration::from_secs(10));
+        propose_and_apply(&nodes[leader_index], b"over-tcp");
 
         for node in nodes {
+            node.shutdown();
+        }
+    }
+
+    /// The tentpole's acceptance test, phase 1: a node killed
+    /// mid-leadership recovers term/vote/log from its data directory,
+    /// rejoins, and the cluster recommits a new command through it.
+    #[test]
+    fn tcp_killed_leader_recovers_from_data_dir_and_cluster_recommits() {
+        let (addrs, listeners) = loopback_listeners(3);
+        let dirs: Vec<PathBuf> = (1..=3).map(|i| scratch_dir(&format!("kill-{i}"))).collect();
+        let mut nodes: Vec<Option<TcpNode>> = (1..=3u32)
+            .map(|i| Some(spawn_node(i, &addrs, &listeners, Some(&dirs[(i - 1) as usize]))))
+            .collect();
+        let all = |nodes: &Vec<Option<TcpNode>>| -> Vec<NodeStatus> {
+            nodes
+                .iter()
+                .map(|n| status_of(n.as_ref().unwrap()).expect("status"))
+                .collect()
+        };
+
+        let leader = {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                assert!(Instant::now() < deadline, "no leader within 10s");
+                if let Some(i) = all(&nodes).iter().position(|s| s.role == Role::Leader) {
+                    break i;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        };
+        propose_and_apply(nodes[leader].as_ref().unwrap(), b"pre-crash");
+        let pre = status_of(nodes[leader].as_ref().unwrap()).expect("status");
+        assert!(pre.term > Term::ZERO);
+        assert!(pre.log_len >= 2, "no-op + command");
+
+        // SIGKILL-equivalent: no flush beyond the per-event fsyncs that
+        // already happened before each sent message.
+        nodes[leader].take().unwrap().kill();
+
+        // Restart from the same data directory on the same (still-bound)
+        // listener, and check the recovered persistent state.
+        let restarted_id = (leader + 1) as u32;
+        nodes[leader] = Some(spawn_node(
+            restarted_id,
+            &addrs,
+            &listeners,
+            Some(&dirs[leader]),
+        ));
+        let recovered = status_of(nodes[leader].as_ref().unwrap()).expect("status");
+        assert!(
+            recovered.term >= pre.term,
+            "recovered term {} must not regress below pre-crash {}",
+            recovered.term,
+            pre.term
+        );
+        assert!(
+            recovered.log_len >= pre.log_len,
+            "recovered log ({} entries) lost entries vs pre-crash ({})",
+            recovered.log_len,
+            pre.log_len
+        );
+
+        // The cluster (restarted node included) elects and recommits.
+        let deadline = Instant::now() + Duration::from_secs(15);
+        let new_leader = loop {
+            assert!(Instant::now() < deadline, "no post-restart leader");
+            if let Some(i) = all(&nodes).iter().position(|s| s.role == Role::Leader) {
+                break i;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        };
+        let index = propose_and_apply(nodes[new_leader].as_ref().unwrap(), b"post-crash");
+
+        // The restarted node must apply the new command too (proof it
+        // rejoined replication, not just that a quorum exists without it).
+        let (atx, arx) = bounded(1);
+        nodes[leader]
+            .as_ref()
+            .unwrap()
+            .inbox()
+            .send(NodeInput::AwaitApplied { index, reply: atx })
+            .unwrap();
+        arx.recv_timeout(Duration::from_secs(10))
+            .expect("restarted node applied the post-crash command");
+
+        for node in nodes.into_iter().flatten() {
+            node.shutdown();
+        }
+    }
+
+    /// Phase 2: a node restarted with a **wiped** data directory is back
+    /// on the boot configuration (confClock 0, empty log) and must not
+    /// win the ensuing election — the intact follower's durable clock
+    /// (plus log up-to-dateness) fences it, per §IV-B / Fig. 5b.
+    #[test]
+    fn tcp_wiped_node_is_fenced_not_elected() {
+        let (addrs, listeners) = loopback_listeners(3);
+        let dirs: Vec<PathBuf> = (1..=3).map(|i| scratch_dir(&format!("wipe-{i}"))).collect();
+        let mut nodes: Vec<Option<TcpNode>> = (1..=3u32)
+            .map(|i| Some(spawn_node(i, &addrs, &listeners, Some(&dirs[(i - 1) as usize]))))
+            .collect();
+
+        let leader = {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                assert!(Instant::now() < deadline, "no leader within 10s");
+                let statuses: Vec<NodeStatus> = nodes
+                    .iter()
+                    .map(|n| status_of(n.as_ref().unwrap()).expect("status"))
+                    .collect();
+                if let Some(i) = statuses.iter().position(|s| s.role == Role::Leader) {
+                    break i;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        };
+        propose_and_apply(nodes[leader].as_ref().unwrap(), b"seed-entry");
+        // Let a few heartbeat rounds run so the PPF assignment (clock ≥ 1)
+        // reaches the followers and lands in their WALs.
+        std::thread::sleep(Duration::from_millis(500));
+
+        // Kill the leader for good, and wipe + restart one follower.
+        let wiped = (0..3).find(|i| *i != leader).unwrap();
+        let intact = (0..3).find(|i| *i != leader && *i != wiped).unwrap();
+        nodes[leader].take().unwrap().kill();
+        nodes[wiped].take().unwrap().kill();
+        std::fs::remove_dir_all(&dirs[wiped]).unwrap();
+        nodes[wiped] = Some(spawn_node(
+            (wiped + 1) as u32,
+            &addrs,
+            &listeners,
+            Some(&dirs[wiped]),
+        ));
+
+        // The two live nodes (wiped + intact) are a quorum; only the
+        // intact one may win. Poll the whole window: the wiped node must
+        // never report leadership.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut intact_led = false;
+        while Instant::now() < deadline {
+            let wiped_status = status_of(nodes[wiped].as_ref().unwrap()).expect("status");
+            assert_ne!(
+                wiped_status.role,
+                Role::Leader,
+                "a wiped node must be fenced by the conf-clock rule, not elected"
+            );
+            let intact_status = status_of(nodes[intact].as_ref().unwrap()).expect("status");
+            if intact_status.role == Role::Leader {
+                intact_led = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        assert!(intact_led, "the intact follower must win the election");
+
+        for node in nodes.into_iter().flatten() {
             node.shutdown();
         }
     }

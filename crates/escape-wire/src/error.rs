@@ -18,6 +18,14 @@ pub enum WireError {
     },
     /// A field held a value its type forbids (e.g. server id zero).
     InvalidValue(&'static str),
+    /// A checksummed record's payload did not match its CRC-32 (torn or
+    /// corrupted storage write).
+    ChecksumMismatch {
+        /// The checksum stored in the record header.
+        expected: u32,
+        /// The checksum computed over the payload read back.
+        actual: u32,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -30,6 +38,9 @@ impl std::fmt::Display for WireError {
                 write!(f, "frame of {declared} bytes exceeds limit {limit}")
             }
             WireError::InvalidValue(what) => write!(f, "invalid value for {what}"),
+            WireError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}")
+            }
         }
     }
 }

@@ -30,8 +30,10 @@
 pub mod codec;
 pub mod error;
 pub mod frame;
+pub mod record;
 pub mod varint;
 
 pub use codec::{Decode, Encode, Envelope};
 pub use error::WireError;
 pub use frame::{write_frame, FrameReader};
+pub use record::{crc32, read_record, write_record};

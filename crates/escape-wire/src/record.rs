@@ -1,0 +1,178 @@
+//! Checksummed record framing for durable storage:
+//! `[u32 LE length][u32 LE CRC-32 of payload][payload]`.
+//!
+//! Stream framing ([`frame`](crate::frame)) trusts TCP to deliver bytes
+//! intact; a write-ahead log cannot trust a disk the same way — a torn
+//! write at the tail of a segment leaves a half-record that must be
+//! detected, not decoded. Every record therefore carries a CRC-32 (IEEE,
+//! the zlib/PNG polynomial) of its payload, and readers treat a length or
+//! checksum violation as the end of usable log.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::WireError;
+
+/// Default maximum record payload (64 MiB) — above any legitimate
+/// snapshot or append batch, far below a corrupt length prefix.
+pub const DEFAULT_MAX_RECORD: usize = 64 * 1024 * 1024;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
+/// built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the checksum zlib, PNG, and Ethernet use.
+///
+/// # Examples
+///
+/// ```
+/// // The catalogue check value for CRC-32/ISO-HDLC.
+/// assert_eq!(escape_wire::record::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Appends `payload` framed as one checksummed record.
+pub fn write_record(buf: &mut BytesMut, payload: &[u8]) {
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_u32_le(crc32(payload));
+    buf.put_slice(payload);
+}
+
+/// Reads the next record payload from `buf`, verifying its checksum.
+///
+/// Returns `Ok(None)` when `buf` is empty (clean end of log).
+///
+/// # Errors
+///
+/// * [`WireError::Truncated`] — a header or payload is cut short (torn
+///   tail write).
+/// * [`WireError::FrameTooLarge`] — the length prefix exceeds
+///   `max_record` (corrupt header).
+/// * [`WireError::ChecksumMismatch`] — the payload does not match its
+///   CRC (corrupt or torn payload).
+///
+/// All three mean the same thing to a WAL reader: no further records are
+/// usable.
+pub fn read_record(buf: &mut Bytes, max_record: usize) -> Result<Option<Bytes>, WireError> {
+    if !buf.has_remaining() {
+        return Ok(None);
+    }
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    let expected = buf.get_u32_le();
+    if len > max_record {
+        return Err(WireError::FrameTooLarge {
+            declared: len,
+            limit: max_record,
+        });
+    }
+    if buf.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    let payload = buf.split_to(len);
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(WireError::ChecksumMismatch { expected, actual });
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn records_round_trip_in_sequence() {
+        let mut buf = BytesMut::new();
+        write_record(&mut buf, b"first");
+        write_record(&mut buf, b"");
+        write_record(&mut buf, b"third-record");
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            read_record(&mut bytes, DEFAULT_MAX_RECORD).unwrap().unwrap().as_ref(),
+            b"first"
+        );
+        assert_eq!(
+            read_record(&mut bytes, DEFAULT_MAX_RECORD).unwrap().unwrap().len(),
+            0
+        );
+        assert_eq!(
+            read_record(&mut bytes, DEFAULT_MAX_RECORD).unwrap().unwrap().as_ref(),
+            b"third-record"
+        );
+        assert_eq!(read_record(&mut bytes, DEFAULT_MAX_RECORD).unwrap(), None);
+    }
+
+    #[test]
+    fn torn_tail_is_truncation() {
+        let mut buf = BytesMut::new();
+        write_record(&mut buf, b"whole");
+        write_record(&mut buf, b"torn-away");
+        let full = buf.freeze();
+        // Cut the stream mid-second-record.
+        let mut torn = full.slice(..full.len() - 4);
+        assert!(read_record(&mut torn, DEFAULT_MAX_RECORD).unwrap().is_some());
+        assert_eq!(
+            read_record(&mut torn, DEFAULT_MAX_RECORD),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn flipped_bit_is_checksum_mismatch() {
+        let mut buf = BytesMut::new();
+        write_record(&mut buf, b"payload-bytes");
+        let mut raw = buf.to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        let mut bytes = Bytes::from(raw);
+        assert!(matches!(
+            read_record(&mut bytes, DEFAULT_MAX_RECORD),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_length_is_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u32_le(u32::MAX);
+        raw.put_u32_le(0);
+        let mut bytes = raw.freeze();
+        assert!(matches!(
+            read_record(&mut bytes, 1024),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+}

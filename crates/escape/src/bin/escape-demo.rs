@@ -18,7 +18,7 @@ use escape::core::types::{LogIndex, Role, ServerId};
 use escape::kv::{KvCommand, KvResponse, KvStateMachine};
 use escape::transport::runtime::{NodeInput, NodeStatus};
 use escape::transport::spec::ProtocolSpec;
-use escape::transport::tcp::{loopback_addrs, TcpNode};
+use escape::transport::tcp::{loopback_listeners, TcpNode};
 
 fn status_of(node: &TcpNode) -> Option<NodeStatus> {
     let (tx, rx) = bounded(1);
@@ -71,18 +71,24 @@ fn main() {
     };
 
     println!("starting {n}-node {protocol} cluster on loopback TCP…");
-    let addrs: HashMap<ServerId, std::net::SocketAddr> = loopback_addrs(n);
+    let (addrs, listeners): (
+        HashMap<ServerId, std::net::SocketAddr>,
+        HashMap<ServerId, std::net::TcpListener>,
+    ) = loopback_listeners(n);
     for (id, addr) in &addrs {
         println!("  {id} @ {addr}");
     }
     let nodes: Vec<TcpNode> = (1..=n as u32)
         .map(|i| {
+            let id = ServerId::new(i);
             TcpNode::spawn(
-                ServerId::new(i),
+                id,
+                listeners[&id].try_clone().expect("clone listener"),
                 addrs.clone(),
                 spec,
                 0xDE30,
                 Box::new(KvStateMachine::new()),
+                None, // demo runs memory-only; pass a dir for durability
             )
         })
         .collect();

@@ -5,9 +5,15 @@
 //! median-of-samples wall-clock measurement instead of criterion's full
 //! statistical machinery.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Every `(label, median seconds/iter)` measured so far in this process,
+/// collected so [`write_bench_json`] can emit a machine-readable medians
+/// file next to the human-readable `bench:` lines.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// Units for reporting throughput alongside time per iteration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -207,6 +213,10 @@ fn run_one<F: FnMut(&mut Bencher<'_>)>(
     match result {
         Some(sample) => {
             let per_iter = sample.median.as_secs_f64() / sample.iters_per_sample as f64;
+            RESULTS
+                .lock()
+                .expect("bench results lock")
+                .push((label.to_string(), per_iter));
             let rate = match throughput {
                 Some(Throughput::Elements(n)) if per_iter > 0.0 => {
                     format!("  {:>12.0} elem/s", n as f64 / per_iter)
@@ -252,12 +262,54 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the benchmark entry point the way criterion does.
+/// Writes every median collected so far to `BENCH_<bench>.json` — one
+/// `"label": seconds_per_iteration` entry per benchmark — so CI can diff
+/// runs against a committed baseline. `<bench>` is the bench binary's
+/// name (cargo's trailing `-<hash>` stripped); the output directory is
+/// `$ESCAPE_BENCH_DIR`, defaulting to the working directory (the bench's
+/// package root under `cargo bench`).
+pub fn write_bench_json() {
+    let results = RESULTS.lock().expect("bench results lock");
+    if results.is_empty() {
+        return;
+    }
+    let argv0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    // `target/.../deps/engine-0f3a9c…` → `engine`.
+    let name = match stem.rsplit_once('-') {
+        Some((prefix, suffix))
+            if suffix.len() >= 8 && suffix.chars().all(|c| c.is_ascii_hexdigit()) =>
+        {
+            prefix.to_string()
+        }
+        _ => stem,
+    };
+    let dir = std::env::var("ESCAPE_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    let mut out = String::from("{\n");
+    for (i, (label, secs)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!("  \"{label}\": {secs:e}{comma}\n"));
+    }
+    out.push_str("}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("bench medians written to {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Declares the benchmark entry point the way criterion does (plus the
+/// shim's medians-file emission).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_bench_json();
         }
     };
 }
