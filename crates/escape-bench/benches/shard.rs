@@ -1,0 +1,77 @@
+//! Shard-layer micro-benchmarks: the router lookup every client command
+//! pays, and the frame-multiplex overhead the `GroupId` envelope field
+//! adds to every wire message.
+//!
+//! The router is a hash + binary search, so the cost must stay close to
+//! flat as the group count grows — `bench_check`'s `shard` suite gates
+//! the 1024/4 scaling ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bytes::BytesMut;
+use escape_core::message::{AppendEntriesArgs, Message};
+use escape_core::types::{GroupId, LogIndex, ServerId, Term};
+use escape_shard::{Router, ShardMap};
+use escape_wire::{write_frame, Decode, Encode, Envelope};
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_route");
+    let keys: Vec<String> = (0..1024).map(|i| format!("account-{i}")).collect();
+    for n in [4usize, 64, 1024] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("route", n), &n, |b, &n| {
+            let map = ShardMap::uniform(n);
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) & 1023;
+                std::hint::black_box(map.owner(keys[i].as_bytes()))
+            });
+        });
+    }
+    group.bench_function("check_redirect/64", |b| {
+        let router = Router::new(ShardMap::uniform(64));
+        let key = b"redirected-key";
+        let owner = router.route(key);
+        let wrong = GroupId::from_index((owner.index() + 1) % 64);
+        b.iter(|| std::hint::black_box(router.check(wrong, key)));
+    });
+    group.finish();
+}
+
+fn bench_envelope_mux(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_mux");
+    let heartbeat = Message::AppendEntries(AppendEntriesArgs {
+        term: Term::new(3),
+        leader_id: ServerId::new(1),
+        prev_log_index: LogIndex::new(100),
+        prev_log_term: Term::new(3),
+        entries: Vec::new(),
+        leader_commit: LogIndex::new(100),
+        new_config: None,
+    });
+    let envelope = Envelope {
+        from: ServerId::new(1),
+        group: GroupId::new(37),
+        message: heartbeat,
+    };
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("encode_frame", |b| {
+        let mut buf = BytesMut::with_capacity(64);
+        b.iter(|| {
+            buf.clear();
+            write_frame(&mut buf, &envelope.to_bytes());
+            std::hint::black_box(buf.len())
+        });
+    });
+    group.bench_function("decode", |b| {
+        let bytes = envelope.to_bytes();
+        b.iter(|| {
+            let mut buf = bytes.clone();
+            std::hint::black_box(Envelope::decode(&mut buf).expect("decode"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_route, bench_envelope_mux);
+criterion_main!(benches);

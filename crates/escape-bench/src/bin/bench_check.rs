@@ -1,34 +1,60 @@
-//! Bench-regression gate: compares a fresh `BENCH_engine.json` medians
+//! Bench-regression gate: compares a fresh `BENCH_<suite>.json` medians
 //! file (emitted by the criterion shim) against the committed baseline
-//! and fails (exit 1) when the PPF hot path regresses.
+//! and fails (exit 1) when a gated hot path regresses.
 //!
 //! ```text
 //! cargo bench -p escape-bench --bench engine
-//! cargo run -p escape-bench --bin bench_check -- \
+//! cargo run -p escape-bench --bin bench_check -- engine \
 //!     crates/escape-bench/BENCH_engine.json crates/escape-bench/baselines/engine.json
+//!
+//! cargo bench -p escape-bench --bench shard
+//! cargo run -p escape-bench --bin bench_check -- shard \
+//!     crates/escape-bench/BENCH_shard.json crates/escape-bench/baselines/shard.json
 //! ```
 //!
-//! Enforced (hard failures), both machine-independent so a slower CI
-//! runner cannot flake them:
-//! * the `ppf_rearrangement` 128/32 scaling factor > 2× the committed
-//!   baseline's factor — the ROADMAP's superlinear-cliff regression,
-//!   normalized by the same machine's n=32 run.
-//! * `ppf_rearrangement/128` median > 8× `ppf_rearrangement/32` — the
-//!   acceptance bound on scaling shape.
+//! Each suite gates one scaling ratio, twice — both machine-independent
+//! so a slower CI runner cannot flake them:
 //!
-//! Absolute medians (the gated label and everything else) are compared
-//! against the baseline too, but only warn: wall-clock medians vary
-//! across CI machines, so absolute 2× checks would flake.
+//! * **engine** — `ppf_rearrangement/128` vs `/32`: the ROADMAP's
+//!   superlinear-cliff regression. Ratio limit 8×, baseline drift 2×.
+//! * **shard** — `shard_route/route/1024` vs `/4`: the router must stay
+//!   near-flat in the group count (hash + binary search). Ratio limit
+//!   4×, baseline drift 2×.
+//!
+//! Absolute medians are compared against the baseline too, but only
+//! warn: wall-clock medians vary across CI machines, so absolute 2×
+//! checks would flake.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// The gated benchmark and its thresholds.
-const GATED: &str = "ppf_rearrangement/128";
-const GATED_BASELINE_FACTOR: f64 = 2.0;
-const RATIO_NUMERATOR: &str = "ppf_rearrangement/128";
-const RATIO_DENOMINATOR: &str = "ppf_rearrangement/32";
-const RATIO_LIMIT: f64 = 8.0;
+/// One suite's machine-independent scaling gate.
+struct Suite {
+    name: &'static str,
+    ratio_numerator: &'static str,
+    ratio_denominator: &'static str,
+    /// Hard cap on `numerator / denominator` in the current run.
+    ratio_limit: f64,
+    /// Hard cap on the current ratio relative to the baseline's ratio.
+    baseline_factor: f64,
+}
+
+const SUITES: &[Suite] = &[
+    Suite {
+        name: "engine",
+        ratio_numerator: "ppf_rearrangement/128",
+        ratio_denominator: "ppf_rearrangement/32",
+        ratio_limit: 8.0,
+        baseline_factor: 2.0,
+    },
+    Suite {
+        name: "shard",
+        ratio_numerator: "shard_route/route/1024",
+        ratio_denominator: "shard_route/route/4",
+        ratio_limit: 4.0,
+        baseline_factor: 2.0,
+    },
+];
 
 /// Parses the shim's medians file: `{ "label": 1.23e-6, ... }`, one
 /// entry per line.
@@ -67,8 +93,18 @@ fn fmt(secs: f64) -> String {
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let (Some(current_path), Some(baseline_path)) = (args.next(), args.next()) else {
-        eprintln!("usage: bench_check <current-medians.json> <baseline-medians.json>");
+    let (Some(suite_name), Some(current_path), Some(baseline_path)) =
+        (args.next(), args.next(), args.next())
+    else {
+        eprintln!("usage: bench_check <suite> <current-medians.json> <baseline-medians.json>");
+        eprintln!(
+            "  suites: {}",
+            SUITES.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let Some(suite) = SUITES.iter().find(|s| s.name == suite_name) else {
+        eprintln!("bench_check: unknown suite {suite_name:?}");
         return ExitCode::FAILURE;
     };
     let current = match parse_medians(&current_path) {
@@ -88,11 +124,11 @@ fn main() -> ExitCode {
 
     let mut failed = false;
 
-    // Gate 1: the PPF cliff must stay within 2× of the committed
-    // baseline, measured as the 128/32 scaling factor so a uniformly
-    // slower (or faster) CI machine cancels out of the comparison.
+    // Gate 1: the scaling ratio must stay within `baseline_factor` of the
+    // committed baseline's ratio — measured as a ratio on the same
+    // machine, so a uniformly slower (or faster) CI runner cancels out.
     let scaling = |m: &BTreeMap<String, f64>| -> Option<f64> {
-        match (m.get(RATIO_NUMERATOR), m.get(RATIO_DENOMINATOR)) {
+        match (m.get(suite.ratio_numerator), m.get(suite.ratio_denominator)) {
             (Some(&num), Some(&den)) if den > 0.0 => Some(num / den),
             _ => None,
         }
@@ -100,38 +136,41 @@ fn main() -> ExitCode {
     match (scaling(&current), scaling(&baseline)) {
         (Some(cur_scale), Some(base_scale)) if base_scale > 0.0 => {
             let factor = cur_scale / base_scale;
-            let verdict = if factor > GATED_BASELINE_FACTOR {
+            let verdict = if factor > suite.baseline_factor {
                 failed = true;
                 "FAIL"
             } else {
                 "ok"
             };
             println!(
-                "[{verdict}] {GATED} scaling vs /32: {cur_scale:.2}x, baseline {base_scale:.2}x \
-                 ({factor:.2}x regression, limit {GATED_BASELINE_FACTOR}x)"
+                "[{verdict}] {} scaling vs {}: {cur_scale:.2}x, baseline {base_scale:.2}x \
+                 ({factor:.2}x regression, limit {}x)",
+                suite.ratio_numerator, suite.ratio_denominator, suite.baseline_factor
             );
         }
         _ => {
             eprintln!(
-                "bench_check: {RATIO_NUMERATOR} / {RATIO_DENOMINATOR} missing from \
-                 current or baseline medians"
+                "bench_check: {} / {} missing from current or baseline medians",
+                suite.ratio_numerator, suite.ratio_denominator
             );
             failed = true;
         }
     }
 
-    // Gate 2: scaling shape — n=128 within 8× of n=32, machine-independent.
-    match (current.get(RATIO_NUMERATOR), current.get(RATIO_DENOMINATOR)) {
+    // Gate 2: scaling shape — the ratio itself under the hard cap,
+    // machine-independent.
+    match (current.get(suite.ratio_numerator), current.get(suite.ratio_denominator)) {
         (Some(&num), Some(&den)) if den > 0.0 => {
             let ratio = num / den;
-            let verdict = if ratio > RATIO_LIMIT {
+            let verdict = if ratio > suite.ratio_limit {
                 failed = true;
                 "FAIL"
             } else {
                 "ok"
             };
             println!(
-                "[{verdict}] {RATIO_NUMERATOR} / {RATIO_DENOMINATOR}: {ratio:.2}x (limit {RATIO_LIMIT}x)"
+                "[{verdict}] {} / {}: {ratio:.2}x (limit {}x)",
+                suite.ratio_numerator, suite.ratio_denominator, suite.ratio_limit
             );
         }
         _ => {
@@ -145,7 +184,7 @@ fn main() -> ExitCode {
     for (label, &cur) in &current {
         if let Some(&base) = baseline.get(label) {
             let factor = cur / base;
-            if factor > GATED_BASELINE_FACTOR {
+            if factor > suite.baseline_factor {
                 println!(
                     "[warn] {label}: {} vs baseline {} ({factor:.2}x absolute) — advisory only",
                     fmt(cur),
@@ -156,10 +195,10 @@ fn main() -> ExitCode {
     }
 
     if failed {
-        eprintln!("bench_check: PPF hot-path regression gate FAILED");
+        eprintln!("bench_check: {} hot-path regression gate FAILED", suite.name);
         ExitCode::FAILURE
     } else {
-        println!("bench_check: all gates passed");
+        println!("bench_check: all {} gates passed", suite.name);
         ExitCode::SUCCESS
     }
 }

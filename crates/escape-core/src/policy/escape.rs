@@ -165,6 +165,23 @@ impl EscapePolicy {
         }
     }
 
+    /// Overrides SCA's boot priority (default `P_i = i`).
+    ///
+    /// SCA's boot assignment is explicitly arbitrary — any permutation of
+    /// `1..=n` across the servers satisfies §IV-A1 — so swapping which
+    /// server starts with which priority changes no protocol property.
+    /// The shard layer uses this to rotate boot priorities per consensus
+    /// group, so different groups elect different initial leaders instead
+    /// of stacking every group's leadership on the same server.
+    ///
+    /// Callers are responsible for keeping the assignment a permutation:
+    /// two servers sharing a boot priority would share a timeout.
+    #[must_use]
+    pub fn with_boot_priority(mut self, priority: Priority) -> Self {
+        self.config = self.params.configuration_for(priority, ConfClock::ZERO);
+        self
+    }
+
     /// Overrides the log-responsiveness comparison granularity
     /// (ablation knob; default [`EscapePolicy::RANK_TOLERANCE`]).
     /// Tolerance `0` is treated as exact (tolerance 1).

@@ -254,6 +254,59 @@ impl fmt::Display for ConfClock {
     }
 }
 
+/// Identifies one consensus group (shard) in a multi-group deployment.
+///
+/// A single process can host many independent ESCAPE groups — each with
+/// its own log, leader, and prepared-leader pool — behind one keyspace.
+/// Groups are dense zero-based integers; group `0` is the only group of a
+/// legacy single-group deployment, so every pre-sharding data directory
+/// and wire peer maps onto it unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use escape_core::types::GroupId;
+///
+/// let g = GroupId::new(3);
+/// assert_eq!(g.get(), 3);
+/// assert_eq!(g.to_string(), "G3");
+/// assert_eq!(GroupId::ZERO.get(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(u32);
+
+impl GroupId {
+    /// The first group — and the implicit group of every single-group
+    /// deployment.
+    pub const ZERO: GroupId = GroupId(0);
+
+    /// Creates a group id.
+    pub const fn new(id: u32) -> Self {
+        GroupId(id)
+    }
+
+    /// The raw integer id.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// A zero-based dense index for array addressing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds the id for the group at zero-based `index`.
+    pub fn from_index(index: usize) -> Self {
+        GroupId(index as u32)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
 /// The role a server currently plays (Fig. 1).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Role {
@@ -361,8 +414,18 @@ mod tests {
     }
 
     #[test]
+    fn group_id_indexing_round_trips() {
+        for raw in 0..=8u32 {
+            let g = GroupId::new(raw);
+            assert_eq!(GroupId::from_index(g.index()), g);
+        }
+        assert_eq!(GroupId::default(), GroupId::ZERO);
+    }
+
+    #[test]
     fn display_formats() {
         assert_eq!(ServerId::new(4).to_string(), "S4");
+        assert_eq!(GroupId::new(6).to_string(), "G6");
         assert_eq!(Term::new(9).to_string(), "t(9)");
         assert_eq!(LogIndex::new(2).to_string(), "#2");
         assert_eq!(Priority::new(3).to_string(), "P3");

@@ -95,6 +95,17 @@ fn get_opt_blob(buf: &mut Bytes) -> Result<Option<Bytes>, WireError> {
 }
 
 impl KvCommand {
+    /// The key this command addresses — the routing key the shard layer
+    /// hashes to pick the owning consensus group.
+    pub fn key(&self) -> &str {
+        match self {
+            KvCommand::Put { key, .. }
+            | KvCommand::Delete { key }
+            | KvCommand::Get { key }
+            | KvCommand::CompareAndSwap { key, .. } => key,
+        }
+    }
+
     /// Serializes the command for proposing into the log.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
@@ -254,6 +265,21 @@ mod tests {
         ] {
             assert_eq!(KvResponse::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn every_command_exposes_its_routing_key() {
+        let value = Bytes::from_static(b"v");
+        assert_eq!(
+            KvCommand::Put { key: "p".into(), value: value.clone() }.key(),
+            "p"
+        );
+        assert_eq!(KvCommand::Delete { key: "d".into() }.key(), "d");
+        assert_eq!(KvCommand::Get { key: "g".into() }.key(), "g");
+        assert_eq!(
+            KvCommand::CompareAndSwap { key: "c".into(), expect: None, value }.key(),
+            "c"
+        );
     }
 
     #[test]

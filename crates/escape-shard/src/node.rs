@@ -1,0 +1,324 @@
+//! [`ShardedNode`]: one process hosting every consensus group of a
+//! sharded deployment — N independent `escape-core` engines multiplexed
+//! over a single TCP mesh and persisted under per-group subdirectories.
+//!
+//! Each group is a full ESCAPE instance: its own log, its own leader, its
+//! own prepared-leader pool, its own election timers. The node supplies
+//! the shared plumbing — one listener, one outbound connection per peer
+//! (frames carry the [`GroupId`] so receivers demultiplex), one data
+//! directory with a `group-<g>/` WAL+snapshot subtree per group — and the
+//! [`Router`] that turns client keys into group addresses.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Sender};
+
+use escape_core::engine::{Node, ProposeError};
+use escape_core::statemachine::StateMachine;
+use escape_core::types::{GroupId, LogIndex, ServerId};
+use escape_storage::WalStorage;
+use escape_transport::runtime::{node_loop, NodeInput, NodeStatus};
+use escape_transport::spec::ProtocolSpec;
+use escape_transport::tcp::{spawn_acceptor, GroupOutbound, GroupRoutes, TcpMesh};
+use escape_transport::RuntimeClock;
+
+use crate::map::ShardMap;
+use crate::router::{Redirect, Router};
+
+/// How long client-facing helpers wait for the group thread to answer.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(2);
+/// How long [`ShardedNode::await_applied`] waits for replication.
+const APPLY_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Why a sharded command did not produce a log index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// The command was addressed to a group that does not own its key —
+    /// including a group that is not in the map at all (the redirect
+    /// names the real owner and the map version either way).
+    Redirect(Redirect),
+    /// A group outside the hosted map was named where no key is
+    /// available to redirect by ([`ShardedNode::await_applied`] /
+    /// [`ShardedNode::inbox`]-driven paths; `propose_to` reports a
+    /// [`ShardError::Redirect`] instead).
+    UnknownGroup(GroupId),
+    /// The owning group's engine on this server is not its leader.
+    NotLeader {
+        /// Where to retry, if known.
+        hint: Option<ServerId>,
+    },
+    /// The group thread is gone or did not answer in time.
+    Unavailable,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Redirect(r) => write!(f, "misrouted: {r}"),
+            ShardError::UnknownGroup(g) => write!(f, "group {g} is not in the shard map"),
+            ShardError::NotLeader { hint: Some(l) } => {
+                write!(f, "not the group leader; try {l}")
+            }
+            ShardError::NotLeader { hint: None } => write!(f, "not the group leader"),
+            ShardError::Unavailable => write!(f, "group unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<ProposeError> for ShardError {
+    fn from(e: ProposeError) -> Self {
+        match e {
+            ProposeError::NotLeader { hint } => ShardError::NotLeader { hint },
+        }
+    }
+}
+
+/// The per-group data subdirectory under a sharded node's data root.
+pub fn group_data_dir(root: &Path, group: GroupId) -> PathBuf {
+    root.join(format!("group-{:08}", group.get()))
+}
+
+/// One server of a sharded cluster: every consensus group's engine, one
+/// shared TCP mesh, and the router for client commands.
+///
+/// Spawn one per server (same shard map everywhere); clients may talk to
+/// any server, and misrouted or follower-addressed commands come back as
+/// [`ShardError::Redirect`] / [`ShardError::NotLeader`] with enough
+/// information to retry at the right place.
+#[derive(Debug)]
+pub struct ShardedNode {
+    id: ServerId,
+    my_addr: SocketAddr,
+    router: Router,
+    inboxes: Vec<Sender<NodeInput>>,
+    mesh: Arc<TcpMesh>,
+    stop_accepting: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ShardedNode {
+    /// Boots server `id` hosting every group of `map`, accepting on the
+    /// caller-bound `listener` (see
+    /// [`loopback_listeners`](escape_transport::tcp::loopback_listeners)
+    /// for why listeners are bound outside).
+    ///
+    /// `state_machine_for` builds each group's state machine. With a
+    /// `data_dir`, each group recovers from and persists into its own
+    /// `group-<g>/` subdirectory — recovery iterates the map's groups, so
+    /// a restarted process rebuilds every shard it hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` lacks `id` or any group's data subdirectory
+    /// cannot be opened/recovered (a node that cannot persist must not
+    /// serve).
+    #[allow(clippy::too_many_arguments)] // mirrors TcpNode::spawn + map/factory
+    pub fn spawn(
+        id: ServerId,
+        listener: TcpListener,
+        addrs: HashMap<ServerId, SocketAddr>,
+        spec: ProtocolSpec,
+        seed: u64,
+        map: ShardMap,
+        mut state_machine_for: impl FnMut(GroupId) -> Box<dyn StateMachine>,
+        data_dir: Option<&Path>,
+    ) -> Self {
+        let my_addr = *addrs.get(&id).expect("own address present");
+        let ids: Vec<ServerId> = {
+            let mut v: Vec<ServerId> = addrs.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let n = ids.len();
+
+        let routes = GroupRoutes::new();
+        let stop_accepting = Arc::new(AtomicBool::new(false));
+        let mesh = TcpMesh::start(id, &addrs);
+        let mut threads = Vec::new();
+
+        // Register every group's inbox *before* the acceptor starts: the
+        // reader drops any connection it serves while the routing table
+        // is empty (that is the restart-detection rule), so accepting
+        // with a half-filled table would bounce early peer connections.
+        let mut inboxes = Vec::with_capacity(map.len());
+        let mut receivers = Vec::with_capacity(map.len());
+        for group in map.groups() {
+            let (tx, rx) = crossbeam::channel::unbounded::<NodeInput>();
+            routes.register(group, tx.clone());
+            inboxes.push(tx);
+            receivers.push((group, rx));
+        }
+        threads.push(spawn_acceptor(
+            id,
+            listener,
+            routes.clone(),
+            stop_accepting.clone(),
+        ));
+
+        for (group, rx) in receivers {
+            let mut builder = Node::builder(id, ids.clone())
+                .policy(spec.build_group_policy(
+                    id,
+                    n,
+                    seed.wrapping_add(id.get() as u64),
+                    group,
+                ))
+                .state_machine(state_machine_for(group))
+                .options(ProtocolSpec::local_options());
+            if let Some(root) = data_dir {
+                let dir = group_data_dir(root, group);
+                let (storage, recovered) =
+                    WalStorage::open(&dir).expect("open/recover group data directory");
+                builder = builder.storage(Box::new(storage)).recover(recovered);
+            }
+            let node = builder.build();
+            let outbound: Arc<dyn escape_transport::Outbound + Sync> =
+                Arc::new(GroupOutbound::new(Arc::clone(&mesh), group));
+            let clock = RuntimeClock::start();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("escape-shard-{}-g{}", id.get(), group.get()))
+                    .spawn(move || node_loop(node, rx, outbound, clock))
+                    .expect("spawn group node loop"),
+            );
+        }
+
+        ShardedNode {
+            id,
+            my_addr,
+            router: Router::new(map),
+            inboxes,
+            mesh,
+            stop_accepting,
+            threads,
+        }
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The router (and through it the shard map) this node serves with.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The shard map this node hosts.
+    pub fn map(&self) -> &ShardMap {
+        self.router.map()
+    }
+
+    /// The group that owns `key`.
+    pub fn route(&self, key: &[u8]) -> GroupId {
+        self.router.route(key)
+    }
+
+    /// The input channel of `group`'s engine on this server.
+    pub fn inbox(&self, group: GroupId) -> Option<Sender<NodeInput>> {
+        self.inboxes.get(group.index()).cloned()
+    }
+
+    /// A status snapshot of `group`'s engine on this server.
+    pub fn status(&self, group: GroupId) -> Option<NodeStatus> {
+        let inbox = self.inbox(group)?;
+        let (tx, rx) = bounded(1);
+        inbox.send(NodeInput::Query { reply: tx }).ok()?;
+        rx.recv_timeout(REPLY_TIMEOUT).ok()
+    }
+
+    /// Proposes `command` (whose routing key is `key`) into `group`,
+    /// **validating the route first**: a client that addressed the wrong
+    /// group gets [`ShardError::Redirect`] naming the owner instead of a
+    /// wrong-shard write.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Redirect`] on a misroute, [`ShardError::NotLeader`]
+    /// when this server does not lead the group,
+    /// [`ShardError::Unavailable`] when the group thread is gone.
+    pub fn propose_to(
+        &self,
+        group: GroupId,
+        key: &[u8],
+        command: Bytes,
+    ) -> Result<LogIndex, ShardError> {
+        let group = self.router.check(group, key).map_err(ShardError::Redirect)?;
+        let inbox = self.inbox(group).ok_or(ShardError::UnknownGroup(group))?;
+        let (tx, rx) = bounded(1);
+        inbox
+            .send(NodeInput::Propose { command, reply: tx })
+            .map_err(|_| ShardError::Unavailable)?;
+        match rx.recv_timeout(REPLY_TIMEOUT) {
+            Ok(Ok(index)) => Ok(index),
+            Ok(Err(e)) => Err(e.into()),
+            Err(_) => Err(ShardError::Unavailable),
+        }
+    }
+
+    /// Routes `key` and proposes `command` into its owning group on this
+    /// server, returning the group alongside the assigned index.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedNode::propose_to`] (minus the redirect, which cannot
+    /// happen when the server routes for you).
+    pub fn propose(&self, key: &[u8], command: Bytes) -> Result<(GroupId, LogIndex), ShardError> {
+        let group = self.route(key);
+        let index = self.propose_to(group, key, command)?;
+        Ok((group, index))
+    }
+
+    /// Waits for `group` to apply `index`, returning the state machine's
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::UnknownGroup`] / [`ShardError::Unavailable`].
+    pub fn await_applied(&self, group: GroupId, index: LogIndex) -> Result<Bytes, ShardError> {
+        let inbox = self.inbox(group).ok_or(ShardError::UnknownGroup(group))?;
+        let (tx, rx) = bounded(1);
+        inbox
+            .send(NodeInput::AwaitApplied { index, reply: tx })
+            .map_err(|_| ShardError::Unavailable)?;
+        rx.recv_timeout(APPLY_TIMEOUT)
+            .map_err(|_| ShardError::Unavailable)
+    }
+
+    fn stop_acceptor(&self) {
+        self.stop_accepting.store(true, Ordering::Release);
+        let _ = TcpStream::connect_timeout(&self.my_addr, Duration::from_millis(250));
+    }
+
+    /// Stops every group and joins all threads. Like the single-group
+    /// node there is no flush-on-exit: each group's durability happened
+    /// record-by-record, so shutdown and [`ShardedNode::kill`] leave
+    /// identical per-group data directories.
+    pub fn shutdown(self) {
+        for inbox in &self.inboxes {
+            let _ = inbox.send(NodeInput::Shutdown);
+        }
+        self.stop_acceptor();
+        self.mesh.stop();
+        for handle in self.threads {
+            let _ = handle.join();
+        }
+    }
+
+    /// Crash the whole process: every hosted group stops at once with no
+    /// goodbye — the multi-shard equivalent of a SIGKILL. Restart on the
+    /// same listener and data root to model a process restart; recovery
+    /// then iterates the per-group subdirectories.
+    pub fn kill(self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,125 @@
+//! The command router: keys → owning group, with redirects for misrouted
+//! commands.
+//!
+//! A client that guesses (or caches) the wrong group for a key does not
+//! get silence or a wrong-shard write — it gets a [`Redirect`] naming the
+//! owning group and the map version the verdict was made under, so a
+//! client holding a stale map knows to refresh.
+
+use std::fmt;
+
+use escape_core::types::GroupId;
+
+use crate::map::ShardMap;
+
+/// The verdict on a misrouted command: where it was sent, who actually
+/// owns the key, and which map version says so.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Redirect {
+    /// The group the client addressed.
+    pub asked: GroupId,
+    /// The group that owns the key.
+    pub owner: GroupId,
+    /// The shard-map version the ownership verdict comes from.
+    pub map_version: u64,
+}
+
+impl fmt::Display for Redirect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "key owned by {} not {} (shard map v{})",
+            self.owner, self.asked, self.map_version
+        )
+    }
+}
+
+/// Routes client commands to the group owning their key.
+///
+/// # Examples
+///
+/// ```
+/// use escape_shard::{Router, ShardMap};
+///
+/// let router = Router::new(ShardMap::uniform(4));
+/// let owner = router.route(b"city");
+/// assert!(router.check(owner, b"city").is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Router {
+    map: ShardMap,
+}
+
+impl Router {
+    /// A router over `map`.
+    pub fn new(map: ShardMap) -> Self {
+        Router { map }
+    }
+
+    /// The shard map the router consults.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The group that owns `key`.
+    pub fn route(&self, key: &[u8]) -> GroupId {
+        self.map.owner(key)
+    }
+
+    /// Validates that `asked` owns `key`: `Ok(asked)` when correctly
+    /// routed, otherwise a [`Redirect`] naming the owner.
+    ///
+    /// # Errors
+    ///
+    /// [`Redirect`] when `asked` does not own `key` (including when
+    /// `asked` is not in the map at all).
+    pub fn check(&self, asked: GroupId, key: &[u8]) -> Result<GroupId, Redirect> {
+        let owner = self.route(key);
+        if owner == asked {
+            Ok(owner)
+        } else {
+            Err(Redirect {
+                asked,
+                owner,
+                map_version: self.map.version(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correctly_routed_commands_pass() {
+        let router = Router::new(ShardMap::uniform(4));
+        for i in 0..64 {
+            let key = format!("key-{i}");
+            let owner = router.route(key.as_bytes());
+            assert_eq!(router.check(owner, key.as_bytes()), Ok(owner));
+        }
+    }
+
+    #[test]
+    fn misrouted_commands_get_a_redirect_naming_the_owner() {
+        let router = Router::new(ShardMap::uniform(4));
+        let key = b"misrouted-key";
+        let owner = router.route(key);
+        let wrong = GroupId::from_index((owner.index() + 1) % 4);
+        let redirect = router.check(wrong, key).expect_err("must redirect");
+        assert_eq!(redirect.owner, owner);
+        assert_eq!(redirect.asked, wrong);
+        assert_eq!(redirect.map_version, router.map().version());
+        let text = redirect.to_string();
+        assert!(text.contains(&owner.to_string()), "{text}");
+    }
+
+    #[test]
+    fn unknown_group_also_redirects() {
+        let router = Router::new(ShardMap::uniform(2));
+        let key = b"k";
+        let redirect = router.check(GroupId::new(7), key).expect_err("redirect");
+        assert_eq!(redirect.owner, router.route(key));
+    }
+}

@@ -1,0 +1,225 @@
+//! Multi-shard TCP cluster tests: routing, redirects, and — the point of
+//! sharding ESCAPE — failure isolation: killing one shard's leader must
+//! not stall the other shards' client traffic while the victim shard
+//! fails over.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use escape_core::statemachine::StateMachine;
+use escape_core::types::{GroupId, Role, ServerId};
+use escape_kv::{KvCommand, KvResponse, KvStateMachine};
+use escape_shard::{ShardError, ShardMap, ShardedNode};
+use escape_transport::spec::ProtocolSpec;
+use escape_transport::tcp::loopback_listeners;
+
+fn spawn_cluster(
+    servers: usize,
+    shards: usize,
+    addrs: &HashMap<ServerId, SocketAddr>,
+    listeners: &HashMap<ServerId, TcpListener>,
+) -> Vec<ShardedNode> {
+    (1..=servers as u32)
+        .map(|i| {
+            let id = ServerId::new(i);
+            ShardedNode::spawn(
+                id,
+                listeners[&id].try_clone().expect("clone listener"),
+                addrs.clone(),
+                ProtocolSpec::escape_local(),
+                0x5AD,
+                ShardMap::uniform(shards),
+                |_group| Box::new(KvStateMachine::new()) as Box<dyn StateMachine>,
+                None,
+            )
+        })
+        .collect()
+}
+
+/// The index (into `nodes`) of `group`'s current leader, if any.
+fn leader_of(nodes: &[Option<ShardedNode>], group: GroupId) -> Option<usize> {
+    nodes.iter().position(|n| {
+        n.as_ref()
+            .and_then(|n| n.status(group))
+            .is_some_and(|s| s.role == Role::Leader)
+    })
+}
+
+fn wait_for_all_leaders(
+    nodes: &[Option<ShardedNode>],
+    groups: &[GroupId],
+    timeout: Duration,
+) -> HashMap<GroupId, usize> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let leaders: HashMap<GroupId, usize> = groups
+            .iter()
+            .filter_map(|g| leader_of(nodes, *g).map(|i| (*g, i)))
+            .collect();
+        if leaders.len() == groups.len() {
+            return leaders;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "not every group elected within {timeout:?} (got {leaders:?})"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Put through the given server; the key must route to `group` there.
+fn put(node: &ShardedNode, group: GroupId, key: &str, value: &[u8]) -> Result<(), ShardError> {
+    let cmd = KvCommand::Put {
+        key: key.to_string(),
+        value: Bytes::copy_from_slice(value),
+    };
+    let index = node.propose_to(group, key.as_bytes(), cmd.encode())?;
+    let raw = node.await_applied(group, index)?;
+    assert_eq!(KvResponse::decode(&raw).unwrap(), KvResponse::Ok);
+    Ok(())
+}
+
+/// Keys that route to `group` under `map`, lazily generated.
+fn keys_for(map: &ShardMap, group: GroupId, count: usize) -> Vec<String> {
+    (0u64..)
+        .map(|i| format!("key-{i}"))
+        .filter(|k| map.owner(k.as_bytes()) == group)
+        .take(count)
+        .collect()
+}
+
+#[test]
+fn commands_route_and_redirect_over_tcp() {
+    let (addrs, listeners) = loopback_listeners(3);
+    let nodes: Vec<Option<ShardedNode>> = spawn_cluster(3, 3, &addrs, &listeners)
+        .into_iter()
+        .map(Some)
+        .collect();
+    let groups: Vec<GroupId> = nodes[0].as_ref().unwrap().map().groups().collect();
+    let leaders = wait_for_all_leaders(&nodes, &groups, Duration::from_secs(10));
+
+    // Correctly routed writes land.
+    for group in &groups {
+        let node = nodes[leaders[group]].as_ref().unwrap();
+        for key in keys_for(node.map(), *group, 2) {
+            put(node, *group, &key, b"routed").expect("routed write commits");
+        }
+    }
+
+    // A misrouted command gets a redirect naming the right group.
+    let any = nodes[0].as_ref().unwrap();
+    let key = &keys_for(any.map(), groups[0], 1)[0];
+    let wrong = groups[1];
+    let err = any
+        .propose_to(wrong, key.as_bytes(), KvCommand::Get { key: key.clone() }.encode())
+        .expect_err("misroute must not reach the log");
+    match err {
+        ShardError::Redirect(redirect) => {
+            assert_eq!(redirect.owner, groups[0]);
+            assert_eq!(redirect.asked, wrong);
+            assert_eq!(redirect.map_version, any.map().version());
+        }
+        other => panic!("expected a redirect, got {other:?}"),
+    }
+
+    for node in nodes.into_iter().flatten() {
+        node.shutdown();
+    }
+}
+
+/// The failure-isolation satellite: ≥3 shards, kill the server leading
+/// one shard, and the other shards' client traffic must keep committing
+/// — every write completing promptly — while ESCAPE fails the victim
+/// shard over.
+#[test]
+fn killing_one_shards_leader_does_not_stall_the_others() {
+    let shards = 4;
+    let (addrs, listeners) = loopback_listeners(3);
+    let mut nodes: Vec<Option<ShardedNode>> = spawn_cluster(3, shards, &addrs, &listeners)
+        .into_iter()
+        .map(Some)
+        .collect();
+    let groups: Vec<GroupId> = nodes[0].as_ref().unwrap().map().groups().collect();
+    let leaders = wait_for_all_leaders(&nodes, &groups, Duration::from_secs(10));
+
+    // Boot-priority rotation must have spread leadership: pick the victim
+    // (group 0's leader server) and the groups led elsewhere.
+    let victim_group = groups[0];
+    let victim_server = leaders[&victim_group];
+    let unaffected: Vec<GroupId> = groups
+        .iter()
+        .copied()
+        .filter(|g| leaders[g] != victim_server)
+        .collect();
+    assert!(
+        !unaffected.is_empty(),
+        "leader rotation must place some group's leader off the victim server"
+    );
+
+    // Warm up: one write per unaffected group through its leader.
+    for group in &unaffected {
+        let node = nodes[leaders[group]].as_ref().unwrap();
+        let key = &keys_for(node.map(), *group, 1)[0];
+        put(node, *group, key, b"pre-kill").expect("pre-kill write");
+    }
+
+    nodes[victim_server].take().unwrap().kill();
+    let killed_at = Instant::now();
+
+    // Drive traffic on the unaffected shards for the whole failover
+    // window (and at least 600 ms). Every write must succeed, promptly —
+    // an election on the victim shard must not be visible here.
+    let mut writes = 0usize;
+    let mut slowest = Duration::ZERO;
+    loop {
+        for group in &unaffected {
+            let node = nodes[leaders[group]].as_ref().unwrap();
+            // Distinct keys per round, pinned to this (undisturbed) group.
+            let key = keys_for(node.map(), *group, writes + 1)
+                .pop()
+                .expect("key for group");
+            let started = Instant::now();
+            let result = put(node, *group, &key, b"live");
+            let took = started.elapsed();
+            slowest = slowest.max(took);
+            assert!(
+                result.is_ok(),
+                "write to unaffected {group} failed during victim failover: {result:?}"
+            );
+            assert!(
+                took < Duration::from_secs(2),
+                "write to unaffected {group} stalled for {took:?} during failover"
+            );
+            writes += 1;
+        }
+        let victim_recovered = leader_of(&nodes, victim_group).is_some();
+        if victim_recovered && killed_at.elapsed() > Duration::from_millis(600) {
+            break;
+        }
+        assert!(
+            killed_at.elapsed() < Duration::from_secs(20),
+            "victim shard never failed over"
+        );
+    }
+    assert!(writes >= unaffected.len() * 2, "too few writes to call it traffic");
+
+    // And the victim shard is healthy again: a write through its new
+    // leader commits.
+    let new_leader = leader_of(&nodes, victim_group).expect("victim shard re-elected");
+    assert_ne!(new_leader, victim_server);
+    let node = nodes[new_leader].as_ref().unwrap();
+    let key = keys_for(node.map(), victim_group, 1).pop().unwrap();
+    put(node, victim_group, &key, b"post-failover").expect("victim shard writes again");
+
+    println!(
+        "{writes} writes on {} unaffected shard(s) during failover; slowest {slowest:?}",
+        unaffected.len()
+    );
+
+    for node in nodes.into_iter().flatten() {
+        node.shutdown();
+    }
+}

@@ -11,7 +11,9 @@
 //!   cluster in one process; supports pause/resume fault injection and a
 //!   propose-and-wait client path.
 //! * [`tcp`] — [`TcpNode`]: full-mesh TCP with
-//!   `escape-wire` framing.
+//!   `escape-wire` framing, plus the group-multiplexed
+//!   [`TcpMesh`](tcp::TcpMesh)/[`GroupRoutes`](tcp::GroupRoutes) pieces
+//!   `escape-shard` builds its multi-group nodes from.
 //! * [`spec`] — protocol/timing presets scaled for loopback latencies.
 //!
 //! ```no_run
@@ -34,7 +36,8 @@ pub mod runtime;
 pub mod spec;
 pub mod tcp;
 
+pub use clock::RuntimeClock;
 pub use inproc::{ClientError, InprocCluster};
-pub use runtime::{NodeInput, NodeStatus};
+pub use runtime::{NodeInput, NodeStatus, Outbound};
 pub use spec::ProtocolSpec;
-pub use tcp::{loopback_listeners, TcpNode};
+pub use tcp::{loopback_listeners, GroupOutbound, GroupRoutes, TcpMesh, TcpNode};

@@ -4,7 +4,7 @@ use escape_core::config::EscapeParams;
 use escape_core::engine::Options;
 use escape_core::policy::{ElectionPolicy, EscapePolicy, RaftPolicy, ZRaftPolicy};
 use escape_core::time::Duration;
-use escape_core::types::ServerId;
+use escape_core::types::{GroupId, Priority, ServerId};
 
 /// Which election protocol a real-time cluster runs, with timings scaled
 /// for the deployment (LAN timings differ from the paper's simulated WAN).
@@ -75,6 +75,40 @@ impl ProtocolSpec {
         }
     }
 
+    /// Builds the policy for one node of one consensus **group** in a
+    /// sharded deployment.
+    ///
+    /// Same as [`ProtocolSpec::build_policy`], except that leadership is
+    /// spread across the cluster instead of stacked on one server: for
+    /// ESCAPE the SCA boot priorities are rotated by the group id (group
+    /// `g` hands server `s` priority `((s−1+g) mod n)+1` — still a
+    /// permutation, so §IV-A1 holds per group, but each group's
+    /// highest-priority server differs), and for the randomized policies
+    /// the group id is folded into the seed.
+    pub fn build_group_policy(
+        &self,
+        id: ServerId,
+        n: usize,
+        seed: u64,
+        group: GroupId,
+    ) -> Box<dyn ElectionPolicy> {
+        // SplitMix64-style odd multiplier decorrelates per-group seeds.
+        let group_seed =
+            seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(group.get() as u64 + 1);
+        match *self {
+            ProtocolSpec::Escape { base_time, spacing } => {
+                let params = EscapeParams::builder(n)
+                    .base_time(base_time)
+                    .spacing(spacing)
+                    .build();
+                let rotated =
+                    Priority::new(((id.index() + group.index()) % n) as u64 + 1);
+                Box::new(EscapePolicy::new(id, params).with_boot_priority(rotated))
+            }
+            _ => self.build_policy(id, n, group_seed),
+        }
+    }
+
     /// Engine options matched to local timings (50 ms heartbeats).
     pub fn local_options() -> Options {
         Options {
@@ -118,5 +152,36 @@ mod tests {
             spacing: Duration::from_millis(50),
         };
         assert_eq!(z.build_policy(id, 3, 1).name(), "zraft");
+    }
+
+    #[test]
+    fn group_policies_rotate_escape_boot_priorities() {
+        let n = 4usize;
+        // Within one group: boot priorities form a permutation of 1..=n.
+        for g in 0..n as u32 {
+            let group = GroupId::new(g);
+            let mut prios: Vec<u64> = (1..=n as u32)
+                .map(|s| {
+                    ProtocolSpec::escape_local()
+                        .build_group_policy(ServerId::new(s), n, 7, group)
+                        .term_increment()
+                })
+                .collect();
+            prios.sort_unstable();
+            assert_eq!(prios, vec![1, 2, 3, 4], "group {group} must keep a permutation");
+        }
+        // Across groups: the top-priority (initial-leader) server differs.
+        let top_server = |group: GroupId| -> u32 {
+            (1..=n as u32)
+                .max_by_key(|s| {
+                    ProtocolSpec::escape_local()
+                        .build_group_policy(ServerId::new(*s), n, 7, group)
+                        .term_increment()
+                })
+                .unwrap()
+        };
+        let tops: std::collections::HashSet<u32> =
+            (0..n as u32).map(|g| top_server(GroupId::new(g))).collect();
+        assert_eq!(tops.len(), n, "each group must favor a different server");
     }
 }

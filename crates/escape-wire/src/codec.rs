@@ -14,7 +14,7 @@ use escape_core::message::{
     InstallSnapshotReply, Message, RequestVoteArgs, RequestVoteReply,
 };
 use escape_core::time::Duration;
-use escape_core::types::{ConfClock, LogIndex, Priority, ServerId, Term};
+use escape_core::types::{ConfClock, GroupId, LogIndex, Priority, ServerId, Term};
 
 use crate::error::WireError;
 use crate::varint::{get_uvarint, put_uvarint};
@@ -105,6 +105,22 @@ impl Decode for ServerId {
             return Err(WireError::InvalidValue("server id"));
         }
         Ok(ServerId::new(raw as u32))
+    }
+}
+
+impl Encode for GroupId {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_uvarint(buf, self.get() as u64);
+    }
+}
+
+impl Decode for GroupId {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let raw = get_uvarint(buf)?;
+        if raw > u32::MAX as u64 {
+            return Err(WireError::InvalidValue("group id"));
+        }
+        Ok(GroupId::new(raw as u32))
     }
 }
 
@@ -452,12 +468,15 @@ impl Decode for Message {
     }
 }
 
-/// A routed message: who sent it plus the payload. What actually crosses a
-/// transport connection.
+/// A routed message: who sent it, which consensus group it belongs to,
+/// plus the payload. What actually crosses a transport connection — the
+/// group id is how one TCP mesh multiplexes every shard's traffic.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Envelope {
     /// The sending server.
     pub from: ServerId,
+    /// The consensus group (shard) this message belongs to.
+    pub group: GroupId,
     /// The protocol message.
     pub message: Message,
 }
@@ -465,6 +484,7 @@ pub struct Envelope {
 impl Encode for Envelope {
     fn encode(&self, buf: &mut BytesMut) {
         self.from.encode(buf);
+        self.group.encode(buf);
         self.message.encode(buf);
     }
 }
@@ -473,6 +493,7 @@ impl Decode for Envelope {
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(Envelope {
             from: ServerId::decode(buf)?,
+            group: GroupId::decode(buf)?,
             message: Message::decode(buf)?,
         })
     }
@@ -505,6 +526,8 @@ mod tests {
     #[test]
     fn newtypes_round_trip() {
         round_trip(ServerId::new(128));
+        round_trip(GroupId::ZERO);
+        round_trip(GroupId::new(u32::MAX));
         round_trip(Term::new(u64::MAX));
         round_trip(LogIndex::ZERO);
         round_trip(ConfClock::new(77));
@@ -623,13 +646,16 @@ mod tests {
 
     #[test]
     fn envelope_round_trips() {
-        round_trip(Envelope {
-            from: ServerId::new(9),
-            message: Message::RequestVoteReply(RequestVoteReply {
-                term: Term::new(1),
-                vote_granted: true,
-            }),
-        });
+        for group in [GroupId::ZERO, GroupId::new(3), GroupId::new(4096)] {
+            round_trip(Envelope {
+                from: ServerId::new(9),
+                group,
+                message: Message::RequestVoteReply(RequestVoteReply {
+                    term: Term::new(1),
+                    vote_granted: true,
+                }),
+            });
+        }
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub mod varint;
 pub use codec::{Decode, Encode, Envelope};
 pub use error::WireError;
 pub use frame::{write_frame, FrameReader};
-pub use record::{crc32, read_record, write_record};
+pub use record::{crc32, read_record, read_record_v2, write_record, write_record_v2, Crc32};

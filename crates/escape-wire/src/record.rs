@@ -1,12 +1,23 @@
 //! Checksummed record framing for durable storage:
-//! `[u32 LE length][u32 LE CRC-32 of payload][payload]`.
+//! `[u32 LE length][u32 LE CRC-32][payload]`.
 //!
 //! Stream framing ([`frame`](crate::frame)) trusts TCP to deliver bytes
 //! intact; a write-ahead log cannot trust a disk the same way — a torn
 //! write at the tail of a segment leaves a half-record that must be
 //! detected, not decoded. Every record therefore carries a CRC-32 (IEEE,
-//! the zlib/PNG polynomial) of its payload, and readers treat a length or
-//! checksum violation as the end of usable log.
+//! the zlib/PNG polynomial), and readers treat a length or checksum
+//! violation as the end of usable log.
+//!
+//! Two framing generations coexist:
+//!
+//! * **v1** ([`write_record`]/[`read_record`]) checksums the payload
+//!   only — a bit flip *in the length header itself* is caught only
+//!   indirectly (the misframed payload usually fails its CRC, but a
+//!   corrupted length can also frame a different, valid-looking span).
+//! * **v2** ([`write_record_v2`]/[`read_record_v2`]) runs the CRC over
+//!   the length header **and** the payload, so header corruption fails
+//!   the checksum directly. New WAL segments use v2 (`ESCWAL02`); v1
+//!   segments remain readable.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -47,11 +58,44 @@ const CRC_TABLE: [u32; 256] = {
 /// assert_eq!(escape_wire::record::crc32(b"123456789"), 0xCBF4_3926);
 /// ```
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = u32::MAX;
-    for &b in bytes {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    Crc32::new().update(bytes).finish()
+}
+
+/// Streaming CRC-32 (IEEE): feed any number of slices, then [`finish`].
+///
+/// Equivalent to [`crc32`] over the concatenation, without concatenating:
+///
+/// ```
+/// use escape_wire::record::{crc32, Crc32};
+///
+/// let split = Crc32::new().update(b"1234").update(b"56789").finish();
+/// assert_eq!(split, crc32(b"123456789"));
+/// ```
+///
+/// [`finish`]: Crc32::finish
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// A fresh checksum state.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Crc32(u32::MAX)
     }
-    !crc
+
+    /// Folds `bytes` into the checksum.
+    #[must_use]
+    pub fn update(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 = (self.0 >> 8) ^ CRC_TABLE[((self.0 ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self
+    }
+
+    /// The final CRC-32 value.
+    pub fn finish(self) -> u32 {
+        !self.0
+    }
 }
 
 /// Appends `payload` framed as one checksummed record.
@@ -96,6 +140,52 @@ pub fn read_record(buf: &mut Bytes, max_record: usize) -> Result<Option<Bytes>, 
     }
     let payload = buf.split_to(len);
     let actual = crc32(&payload);
+    if actual != expected {
+        return Err(WireError::ChecksumMismatch { expected, actual });
+    }
+    Ok(Some(payload))
+}
+
+/// Appends `payload` framed as one **v2** record: the CRC covers the
+/// 4-byte length header as well as the payload, so a bit flip anywhere
+/// in the record — header included — fails the checksum.
+pub fn write_record_v2(buf: &mut BytesMut, payload: &[u8]) {
+    let len = (payload.len() as u32).to_le_bytes();
+    buf.put_slice(&len);
+    buf.put_u32_le(Crc32::new().update(&len).update(payload).finish());
+    buf.put_slice(payload);
+}
+
+/// Reads the next **v2** record payload from `buf`, verifying the CRC
+/// over header + payload. Returns `Ok(None)` when `buf` is empty.
+///
+/// # Errors
+///
+/// As [`read_record`]; additionally, corruption *of the length header*
+/// surfaces as [`WireError::ChecksumMismatch`] (v1 could only catch it
+/// indirectly).
+pub fn read_record_v2(buf: &mut Bytes, max_record: usize) -> Result<Option<Bytes>, WireError> {
+    if !buf.has_remaining() {
+        return Ok(None);
+    }
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let len_bytes = [buf[0], buf[1], buf[2], buf[3]];
+    buf.advance(4);
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    let expected = buf.get_u32_le();
+    if len > max_record {
+        return Err(WireError::FrameTooLarge {
+            declared: len,
+            limit: max_record,
+        });
+    }
+    if buf.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    let payload = buf.split_to(len);
+    let actual = Crc32::new().update(&len_bytes).update(&payload).finish();
     if actual != expected {
         return Err(WireError::ChecksumMismatch { expected, actual });
     }
@@ -162,6 +252,81 @@ mod tests {
             read_record(&mut bytes, DEFAULT_MAX_RECORD),
             Err(WireError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn v2_records_round_trip_in_sequence() {
+        let mut buf = BytesMut::new();
+        write_record_v2(&mut buf, b"first");
+        write_record_v2(&mut buf, b"");
+        write_record_v2(&mut buf, b"third-record");
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            read_record_v2(&mut bytes, DEFAULT_MAX_RECORD).unwrap().unwrap().as_ref(),
+            b"first"
+        );
+        assert_eq!(
+            read_record_v2(&mut bytes, DEFAULT_MAX_RECORD).unwrap().unwrap().len(),
+            0
+        );
+        assert_eq!(
+            read_record_v2(&mut bytes, DEFAULT_MAX_RECORD).unwrap().unwrap().as_ref(),
+            b"third-record"
+        );
+        assert_eq!(read_record_v2(&mut bytes, DEFAULT_MAX_RECORD).unwrap(), None);
+    }
+
+    /// The reason v2 exists: a bit flip in the *length header* that
+    /// still frames inside the buffer — the case v1's payload-only CRC
+    /// cannot reliably catch — fails the v2 checksum directly.
+    #[test]
+    fn v2_header_flip_is_checksum_mismatch() {
+        let payload = b"header-guarded"; // 14 bytes, length prefix 0x0E
+        let mut buf = BytesMut::new();
+        write_record_v2(&mut buf, payload);
+        let mut raw = buf.to_vec();
+        raw[0] ^= 0x08; // declared length becomes 6: frames inside the 14 bytes
+        let mut bytes = Bytes::from(raw);
+        match read_record_v2(&mut bytes, DEFAULT_MAX_RECORD) {
+            Err(WireError::ChecksumMismatch { .. }) => {}
+            other => panic!(
+                "an in-buffer header misframe must fail the v2 CRC, got {other:?}"
+            ),
+        }
+        // Control: v1 framing happily mis-reads the same corruption as a
+        // (differently-framed) record stream or a payload mismatch — it
+        // cannot pin the header itself. Prove the v2 read of the intact
+        // record still works, so the flip (not the format) is what fired.
+        let mut intact = buf.freeze();
+        assert_eq!(
+            read_record_v2(&mut intact, DEFAULT_MAX_RECORD).unwrap().unwrap().as_ref(),
+            payload
+        );
+    }
+
+    #[test]
+    fn v2_payload_flip_is_checksum_mismatch() {
+        let mut buf = BytesMut::new();
+        write_record_v2(&mut buf, b"payload-bytes");
+        let mut raw = buf.to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        let mut bytes = Bytes::from(raw);
+        assert!(matches!(
+            read_record_v2(&mut bytes, DEFAULT_MAX_RECORD),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn streaming_crc_matches_one_shot() {
+        let whole = crc32(b"The quick brown fox jumps over the lazy dog");
+        let split = Crc32::new()
+            .update(b"The quick brown fox ")
+            .update(b"")
+            .update(b"jumps over the lazy dog")
+            .finish();
+        assert_eq!(whole, split);
     }
 
     #[test]

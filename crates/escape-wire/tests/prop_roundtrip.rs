@@ -11,11 +11,15 @@ use escape_core::message::{
     InstallSnapshotReply, Message, RequestVoteArgs, RequestVoteReply,
 };
 use escape_core::time::Duration;
-use escape_core::types::{ConfClock, LogIndex, Priority, ServerId, Term};
+use escape_core::types::{ConfClock, GroupId, LogIndex, Priority, ServerId, Term};
 use escape_wire::{Decode, Encode, Envelope, FrameReader};
 
 fn arb_server_id() -> impl Strategy<Value = ServerId> {
     (1u32..=4096).prop_map(ServerId::new)
+}
+
+fn arb_group_id() -> impl Strategy<Value = GroupId> {
+    (0u32..=4096).prop_map(GroupId::new)
 }
 
 fn arb_term() -> impl Strategy<Value = Term> {
@@ -147,8 +151,8 @@ proptest! {
     }
 
     #[test]
-    fn envelope_round_trips(from in arb_server_id(), msg in arb_message()) {
-        let env = Envelope { from, message: msg };
+    fn envelope_round_trips(from in arb_server_id(), group in arb_group_id(), msg in arb_message()) {
+        let env = Envelope { from, group, message: msg };
         let mut buf = env.to_bytes();
         prop_assert_eq!(Envelope::decode(&mut buf).expect("round trip"), env);
     }

@@ -3,10 +3,17 @@
 //! store with ESCAPE elections — including a live leader kill.
 //!
 //! ```text
-//! cargo run --release --bin escape-demo -- [nodes] [protocol]
+//! cargo run --release --bin escape-demo -- [nodes] [protocol] [shards]
 //!   nodes     cluster size (default 5)
 //!   protocol  escape | raft (default escape)
+//!   shards    consensus groups behind one keyspace (default 1)
 //! ```
+//!
+//! With `shards > 1` the demo runs the multi-group stack instead: every
+//! server hosts every shard's engine over one TCP mesh, keys route by
+//! hash, a misrouted command shows its redirect, and killing the server
+//! that leads one shard demonstrates isolation — the other shards keep
+//! committing while the victim shard reflex-fails-over.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -69,6 +76,13 @@ fn main() {
         "raft" => ProtocolSpec::raft_local(),
         other => panic!("unknown protocol {other:?} (escape|raft)"),
     };
+    let shards: usize = args
+        .next()
+        .map(|v| v.parse().expect("shards: integer"))
+        .unwrap_or(1);
+    if shards > 1 {
+        return sharded_demo(n, protocol, spec, shards);
+    }
 
     println!("starting {n}-node {protocol} cluster on loopback TCP…");
     let (addrs, listeners): (
@@ -170,6 +184,168 @@ fn main() {
     println!("epilogue write committed: {:?}", KvResponse::decode(&raw));
 
     for node in survivors {
+        node.shutdown();
+    }
+    println!("\ndone.");
+}
+
+// ---- multi-shard mode ----
+
+use escape::core::statemachine::StateMachine;
+use escape::core::types::GroupId;
+use escape::shard::{ShardError, ShardMap, ShardedNode};
+
+fn group_leader(nodes: &[Option<ShardedNode>], group: GroupId) -> Option<usize> {
+    nodes.iter().position(|n| {
+        n.as_ref()
+            .and_then(|n| n.status(group))
+            .is_some_and(|s| s.role == Role::Leader)
+    })
+}
+
+fn wait_for_group_leader(
+    nodes: &[Option<ShardedNode>],
+    group: GroupId,
+    timeout: Duration,
+) -> usize {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(i) = group_leader(nodes, group) {
+            return i;
+        }
+        assert!(Instant::now() < deadline, "no leader for {group}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn shard_put(node: &ShardedNode, cmd: &KvCommand) -> Result<GroupId, ShardError> {
+    let (group, index) = node.propose(cmd.key().as_bytes(), cmd.encode())?;
+    node.await_applied(group, index)?;
+    Ok(group)
+}
+
+fn sharded_demo(n: usize, protocol: String, spec: ProtocolSpec, shards: usize) {
+    println!(
+        "starting {n}-server {protocol} cluster hosting {shards} shards on loopback TCP…"
+    );
+    let (addrs, listeners) = loopback_listeners(n);
+    let mut nodes: Vec<Option<ShardedNode>> = (1..=n as u32)
+        .map(|i| {
+            let id = ServerId::new(i);
+            Some(ShardedNode::spawn(
+                id,
+                listeners[&id].try_clone().expect("clone listener"),
+                addrs.clone(),
+                spec,
+                0xDE30,
+                ShardMap::uniform(shards),
+                |_group| Box::new(KvStateMachine::new()) as Box<dyn StateMachine>,
+                None, // demo runs memory-only; pass a dir for durability
+            ))
+        })
+        .collect();
+    let groups: Vec<GroupId> = nodes[0].as_ref().unwrap().map().groups().collect();
+
+    // Every shard elects its own leader; rotation spreads them.
+    let mut leaders = std::collections::HashMap::new();
+    for group in &groups {
+        let leader = wait_for_group_leader(&nodes, *group, Duration::from_secs(10));
+        let id = nodes[leader].as_ref().unwrap().id();
+        println!("  {group} led by {id}");
+        leaders.insert(*group, leader);
+    }
+
+    // A routed write workload: the server hashes each key to its shard.
+    let t0 = Instant::now();
+    let mut per_group = vec![0usize; shards];
+    for i in 0..40 {
+        let cmd = KvCommand::Put {
+            key: format!("account-{i}"),
+            value: Bytes::from(format!("balance={i}")),
+        };
+        // Any server routes; the owning group's leader on *that* server
+        // must accept, so write through the group's leader server.
+        let owner = nodes[0].as_ref().unwrap().route(cmd.key().as_bytes());
+        let leader = nodes[leaders[&owner]].as_ref().unwrap();
+        let group = shard_put(leader, &cmd).expect("routed write commits");
+        per_group[group.index()] += 1;
+    }
+    println!(
+        "40 writes committed across {shards} shards in {:.0} ms (distribution {per_group:?})",
+        t0.elapsed().as_secs_f64() * 1000.0
+    );
+
+    // A deliberately misrouted command comes back with a redirect.
+    let any = nodes[0].as_ref().unwrap();
+    let key = "account-0".to_string();
+    let owner = any.route(key.as_bytes());
+    let wrong = GroupId::from_index((owner.index() + 1) % shards);
+    let probe_cmd = KvCommand::Get { key: key.clone() }.encode();
+    match any.propose_to(wrong, key.as_bytes(), probe_cmd) {
+        Err(ShardError::Redirect(redirect)) => println!("misrouted probe: {redirect}"),
+        other => panic!("expected a redirect, got {other:?}"),
+    }
+
+    // Kill the server leading shard 0; unaffected shards keep committing
+    // while the victim shard fails over.
+    let victim_group = groups[0];
+    let victim_server = leaders[&victim_group];
+    let victim_id = nodes[victim_server].as_ref().unwrap().id();
+    let unaffected: Vec<GroupId> = groups
+        .iter()
+        .copied()
+        .filter(|g| leaders[g] != victim_server)
+        .collect();
+    println!("\n*** killing {victim_id}, leader of {victim_group} ***");
+    let t1 = Instant::now();
+    nodes[victim_server].take().unwrap().kill();
+
+    let mut live_writes = 0usize;
+    while group_leader(&nodes, victim_group).is_none() {
+        assert!(
+            t1.elapsed() < Duration::from_secs(20),
+            "victim shard never failed over"
+        );
+        for group in &unaffected {
+            let node = nodes[leaders[group]].as_ref().unwrap();
+            let key = (0u64..)
+                .map(|i| format!("failover-{live_writes}-{i}"))
+                .find(|k| node.route(k.as_bytes()) == *group)
+                .unwrap();
+            let cmd = KvCommand::Put {
+                key,
+                value: Bytes::from_static(b"live"),
+            };
+            shard_put(node, &cmd).expect("unaffected shard keeps committing");
+            live_writes += 1;
+        }
+    }
+    let new_leader = wait_for_group_leader(&nodes, victim_group, Duration::from_secs(15));
+    println!(
+        "{} writes on {} unaffected shard(s) while {victim_group} failed over to {} in {:.0} ms",
+        live_writes,
+        unaffected.len(),
+        nodes[new_leader].as_ref().unwrap().id(),
+        t1.elapsed().as_secs_f64() * 1000.0
+    );
+
+    // The victim shard remembers everything (linearizable read).
+    let node = nodes[new_leader].as_ref().unwrap();
+    let probe = (0..40)
+        .map(|i| format!("account-{i}"))
+        .find(|k| node.route(k.as_bytes()) == victim_group)
+        .expect("some account lives in the victim shard");
+    let cmd = KvCommand::Get { key: probe.clone() };
+    let index = node
+        .propose_to(victim_group, probe.as_bytes(), cmd.encode())
+        .expect("post-failover read");
+    let raw = node.await_applied(victim_group, index).expect("applied");
+    println!(
+        "{probe} after failover = {:?}",
+        KvResponse::decode(&raw).expect("decode")
+    );
+
+    for node in nodes.into_iter().flatten() {
         node.shutdown();
     }
     println!("\ndone.");

@@ -14,7 +14,8 @@
 //! | [`cluster`] | `escape-cluster` | the experiment harness (fault injection, election measurement, every paper figure) |
 //! | [`wire`] | `escape-wire` | the binary wire codec |
 //! | [`kv`] | `escape-kv` | a replicated key-value store over the engine |
-//! | [`transport`] | `escape-transport` | real-time runtimes (in-process mesh, TCP) |
+//! | [`shard`] | `escape-shard` | multi-group sharding: shard map, router with redirects, `ShardedNode` |
+//! | [`transport`] | `escape-transport` | real-time runtimes (in-process mesh, group-multiplexed TCP) |
 //!
 //! ## Quick start
 //!
@@ -38,6 +39,7 @@
 pub use escape_cluster as cluster;
 pub use escape_core as core;
 pub use escape_kv as kv;
+pub use escape_shard as shard;
 pub use escape_simnet as simnet;
 pub use escape_transport as transport;
 pub use escape_wire as wire;

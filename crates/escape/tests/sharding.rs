@@ -1,0 +1,230 @@
+//! The sharding acceptance test (ISSUE 3): a 4-shard TCP cluster in
+//! which keys route to their owning group, misrouted commands get
+//! redirects naming the right group, groups elect and fail over
+//! independently, and a full kill-and-restart rebuilds every group from
+//! its per-group data directory.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use escape::core::statemachine::StateMachine;
+use escape::core::types::{GroupId, Role, ServerId};
+use escape::kv::{KvCommand, KvResponse, KvStateMachine};
+use escape::shard::{group_data_dir, ShardError, ShardMap, ShardedNode};
+use escape::transport::spec::ProtocolSpec;
+use escape::transport::tcp::loopback_listeners;
+
+const SERVERS: usize = 3;
+const SHARDS: usize = 4;
+
+fn scratch_dir(label: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "escape-sharding-test-{}-{label}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn spawn_server(
+    id: u32,
+    addrs: &HashMap<ServerId, SocketAddr>,
+    listeners: &HashMap<ServerId, TcpListener>,
+    data_dir: &Path,
+) -> ShardedNode {
+    let id = ServerId::new(id);
+    ShardedNode::spawn(
+        id,
+        listeners[&id].try_clone().expect("clone listener"),
+        addrs.clone(),
+        ProtocolSpec::escape_local(),
+        0xE5CA,
+        ShardMap::uniform(SHARDS),
+        |_group| Box::new(KvStateMachine::new()) as Box<dyn StateMachine>,
+        Some(data_dir),
+    )
+}
+
+fn leader_of(nodes: &[Option<ShardedNode>], group: GroupId) -> Option<usize> {
+    nodes.iter().position(|n| {
+        n.as_ref()
+            .and_then(|n| n.status(group))
+            .is_some_and(|s| s.role == Role::Leader)
+    })
+}
+
+fn wait_for_leader(nodes: &[Option<ShardedNode>], group: GroupId, timeout: Duration) -> usize {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(i) = leader_of(nodes, group) {
+            return i;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "group {group} elected no leader within {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// A key that routes to `group`, distinct per `salt`.
+fn key_for(map: &ShardMap, group: GroupId, salt: &str) -> String {
+    (0u64..)
+        .map(|i| format!("{salt}-{i}"))
+        .find(|k| map.owner(k.as_bytes()) == group)
+        .expect("some key routes to every group")
+}
+
+fn put(node: &ShardedNode, group: GroupId, key: &str, value: &[u8]) {
+    let cmd = KvCommand::Put {
+        key: key.to_string(),
+        value: Bytes::copy_from_slice(value),
+    };
+    let index = node
+        .propose_to(group, key.as_bytes(), cmd.encode())
+        .expect("put accepted");
+    let raw = node.await_applied(group, index).expect("put applied");
+    assert_eq!(KvResponse::decode(&raw).unwrap(), KvResponse::Ok);
+}
+
+/// Linearizable read through the log.
+fn get(node: &ShardedNode, group: GroupId, key: &str) -> Option<Bytes> {
+    let cmd = KvCommand::Get {
+        key: key.to_string(),
+    };
+    let index = node
+        .propose_to(group, key.as_bytes(), cmd.encode())
+        .expect("get accepted");
+    let raw = node.await_applied(group, index).expect("get applied");
+    match KvResponse::decode(&raw).unwrap() {
+        KvResponse::Value(v) => v,
+        other => panic!("unexpected get response {other:?}"),
+    }
+}
+
+#[test]
+fn four_shard_cluster_routes_redirects_fails_over_and_recovers() {
+    let (addrs, listeners) = loopback_listeners(SERVERS);
+    let dirs: Vec<PathBuf> = (1..=SERVERS)
+        .map(|i| scratch_dir(&format!("server-{i}")))
+        .collect();
+    let mut nodes: Vec<Option<ShardedNode>> = (1..=SERVERS as u32)
+        .map(|i| Some(spawn_server(i, &addrs, &listeners, &dirs[(i - 1) as usize])))
+        .collect();
+    let map = ShardMap::uniform(SHARDS);
+    let groups: Vec<GroupId> = map.groups().collect();
+
+    // --- Phase 1: every group elects, keys route to their owning group.
+    let mut written: Vec<(GroupId, String, Vec<u8>)> = Vec::new();
+    for group in &groups {
+        let leader = wait_for_leader(&nodes, *group, Duration::from_secs(10));
+        let node = nodes[leader].as_ref().unwrap();
+        for round in 0..2 {
+            let key = key_for(&map, *group, &format!("phase1-{round}"));
+            let value = format!("v-{group}-{round}").into_bytes();
+            put(node, *group, &key, &value);
+            written.push((*group, key, value));
+        }
+    }
+
+    // --- Phase 2: a misrouted command gets a redirect naming the owner.
+    let owner = groups[0];
+    let wrong = groups[1];
+    let key = key_for(&map, owner, "misroute");
+    let any = nodes[0].as_ref().unwrap();
+    match any.propose_to(wrong, key.as_bytes(), KvCommand::Get { key: key.clone() }.encode()) {
+        Err(ShardError::Redirect(redirect)) => {
+            assert_eq!(redirect.owner, owner, "redirect must name the owning group");
+            assert_eq!(redirect.asked, wrong);
+        }
+        other => panic!("misroute must redirect, got {other:?}"),
+    }
+
+    // --- Phase 3: groups fail over independently. Kill the server
+    // leading group 0; groups led by other servers keep committing while
+    // the victim group re-elects.
+    let leaders: HashMap<GroupId, usize> = groups
+        .iter()
+        .map(|g| (*g, wait_for_leader(&nodes, *g, Duration::from_secs(10))))
+        .collect();
+    let victim_group = groups[0];
+    let victim_server = leaders[&victim_group];
+    let unaffected: Vec<GroupId> = groups
+        .iter()
+        .copied()
+        .filter(|g| leaders[g] != victim_server)
+        .collect();
+    assert!(!unaffected.is_empty(), "rotation must spread leaders");
+    nodes[victim_server].take().unwrap().kill();
+    let killed_at = Instant::now();
+
+    // Undisturbed shards answer immediately and throughout.
+    loop {
+        assert!(
+            killed_at.elapsed() < Duration::from_secs(20),
+            "victim shard never failed over"
+        );
+        for group in &unaffected {
+            let node = nodes[leaders[group]].as_ref().unwrap();
+            let key = key_for(&map, *group, "during-failover");
+            let started = Instant::now();
+            put(node, *group, &key, b"live-through-failover");
+            assert!(
+                started.elapsed() < Duration::from_secs(2),
+                "unaffected {group} stalled during victim failover"
+            );
+        }
+        if leader_of(&nodes, victim_group).is_some() {
+            break;
+        }
+    }
+    let new_leader = wait_for_leader(&nodes, victim_group, Duration::from_secs(15));
+    assert_ne!(new_leader, victim_server, "victim shard must move its leader");
+    {
+        let node = nodes[new_leader].as_ref().unwrap();
+        let key = key_for(&map, victim_group, "post-failover");
+        put(node, victim_group, &key, b"victim-back");
+        written.push((victim_group, key, b"victim-back".to_vec()));
+    }
+
+    // --- Phase 4: kill everything, restart from the per-group data
+    // directories, and read every written key back linearizably.
+    for node in nodes.iter_mut() {
+        if let Some(node) = node.take() {
+            node.kill();
+        }
+    }
+    // Each server's data root must hold one subdirectory per group.
+    for dir in &dirs {
+        for group in &groups {
+            assert!(
+                group_data_dir(dir, *group).is_dir(),
+                "missing per-group data dir for {group} under {dir:?}"
+            );
+        }
+    }
+    let nodes: Vec<Option<ShardedNode>> = (1..=SERVERS as u32)
+        .map(|i| Some(spawn_server(i, &addrs, &listeners, &dirs[(i - 1) as usize])))
+        .collect();
+    for (group, key, value) in &written {
+        let leader = wait_for_leader(&nodes, *group, Duration::from_secs(15));
+        let node = nodes[leader].as_ref().unwrap();
+        let read = get(node, *group, key);
+        assert_eq!(
+            read.as_deref(),
+            Some(value.as_slice()),
+            "{group} lost key {key:?} across kill-and-restart"
+        );
+    }
+
+    for node in nodes.into_iter().flatten() {
+        node.shutdown();
+    }
+}
