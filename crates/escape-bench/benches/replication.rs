@@ -1,0 +1,114 @@
+//! Replication-pipeline benchmarks: propose throughput at batch sizes
+//! 1 / 16 / 256, with the WAL's fsync on and off.
+//!
+//! Every benchmark iteration pushes the **same 256 commands** through a
+//! single-node leader — as 256 batches of 1, 16 of 16, or 1 of 256 — so
+//! the medians are directly comparable: `b256 / b1` is the group-commit
+//! plus coalesced-fan-out speedup, and `bench_check`'s `replication`
+//! suite gates it (batch-256 must stay ≥10× the per-entry path with
+//! fsync on, i.e. the time ratio must stay ≤ 0.1).
+//!
+//! A single-node cluster isolates exactly the costs batching amortizes —
+//! WAL encode + write + fdatasync, commit advancement, apply — without
+//! measuring loopback TCP (the `escape-transport` layer batches above
+//! this path and pipelines below it).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bytes::Bytes;
+use escape_core::engine::{Action, Node, TimerKind};
+use escape_core::policy::RaftPolicy;
+use escape_core::time::{Duration, Time};
+use escape_core::types::ServerId;
+use escape_storage::{WalOptions, WalStorage};
+
+/// Commands pushed per benchmark iteration, whatever the batch size.
+const COMMANDS_PER_ITER: usize = 256;
+
+fn scratch_dir(label: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "escape-replication-bench-{}-{label}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A single-node leader (instant self-election) writing through a real
+/// `WalStorage` in `dir`.
+fn wal_leader(dir: &PathBuf, fsync: bool) -> Node {
+    let options = WalOptions {
+        fsync,
+        ..WalOptions::default()
+    };
+    let (storage, recovered) = WalStorage::open_with(dir, options).expect("open storage");
+    let ids = vec![ServerId::new(1)];
+    let mut node = Node::builder(ids[0], ids.clone())
+        .policy(Box::new(RaftPolicy::randomized(
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            1,
+        )))
+        .storage(Box::new(storage))
+        .recover(recovered)
+        .build();
+    let actions = node.start(Time::ZERO);
+    let (token, deadline) = actions
+        .iter()
+        .find_map(|a| match a {
+            Action::SetTimer { token, deadline } if token.kind == TimerKind::Election => {
+                Some((*token, *deadline))
+            }
+            _ => None,
+        })
+        .expect("election timer armed");
+    node.handle_timer(token, deadline);
+    assert!(node.is_leader(), "single node must self-elect");
+    node
+}
+
+fn bench_propose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication");
+    group.sample_size(10);
+    let payload = Bytes::from_static(b"replication-bench-command");
+    let mut dirs: Vec<PathBuf> = Vec::new();
+
+    for fsync in [true, false] {
+        let mode = if fsync { "propose_fsync" } else { "propose_nofsync" };
+        for batch in [1usize, 16, COMMANDS_PER_ITER] {
+            let dir = scratch_dir(&format!("{mode}-{batch}"));
+            let mut node = wal_leader(&dir, fsync);
+            dirs.push(dir);
+            let now = Time::from_millis(1000);
+            group.throughput(Throughput::Elements(COMMANDS_PER_ITER as u64));
+            group.bench_with_input(
+                BenchmarkId::new(mode, format!("b{batch}")),
+                &batch,
+                |b, &batch| {
+                    b.iter(|| {
+                        for _ in 0..COMMANDS_PER_ITER / batch {
+                            let commands: Vec<Bytes> =
+                                (0..batch).map(|_| payload.clone()).collect();
+                            let (indexes, _actions) = node
+                                .propose_batch(commands, now)
+                                .expect("leader accepts");
+                            std::hint::black_box(indexes.len());
+                        }
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+criterion_group!(benches, bench_propose);
+criterion_main!(benches);

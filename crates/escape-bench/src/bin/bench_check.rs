@@ -10,6 +10,11 @@
 //! cargo bench -p escape-bench --bench shard
 //! cargo run -p escape-bench --bin bench_check -- shard \
 //!     crates/escape-bench/BENCH_shard.json crates/escape-bench/baselines/shard.json
+//!
+//! cargo bench -p escape-bench --bench replication
+//! cargo run -p escape-bench --bin bench_check -- replication \
+//!     crates/escape-bench/BENCH_replication.json \
+//!     crates/escape-bench/baselines/replication.json
 //! ```
 //!
 //! Each suite gates one scaling ratio, twice — both machine-independent
@@ -20,6 +25,12 @@
 //! * **shard** — `shard_route/route/1024` vs `/4`: the router must stay
 //!   near-flat in the group count (hash + binary search). Ratio limit
 //!   4×, baseline drift 2×.
+//! * **replication** — `replication/propose_fsync/b256` vs `/b1`: both
+//!   labels time the *same 256 commands* (as one batch vs one at a
+//!   time), so the ratio is the group-commit + coalesced-fan-out
+//!   speedup, inverted. Limit 0.1 — batching must stay ≥10× faster than
+//!   the per-entry path with fsync on; baseline drift 2× (a >2×
+//!   regression of batched throughput relative to per-entry fails).
 //!
 //! Absolute medians are compared against the baseline too, but only
 //! warn: wall-clock medians vary across CI machines, so absolute 2×
@@ -52,6 +63,13 @@ const SUITES: &[Suite] = &[
         ratio_numerator: "shard_route/route/1024",
         ratio_denominator: "shard_route/route/4",
         ratio_limit: 4.0,
+        baseline_factor: 2.0,
+    },
+    Suite {
+        name: "replication",
+        ratio_numerator: "replication/propose_fsync/b256",
+        ratio_denominator: "replication/propose_fsync/b1",
+        ratio_limit: 0.1,
         baseline_factor: 2.0,
     },
 ];

@@ -54,7 +54,8 @@ impl Node {
             conf_clock: self.policy.campaign_conf_clock(),
         };
         let broadcast = self.next_broadcast_id();
-        for peer in self.peers.clone() {
+        for i in 0..self.peers.len() {
+            let peer = self.peers[i];
             self.send(peer, Message::RequestVote(args), Some(broadcast), out);
         }
 
@@ -80,7 +81,8 @@ impl Node {
             conf_clock: self.policy.campaign_conf_clock(),
         };
         let broadcast = self.next_broadcast_id();
-        for peer in self.peers.clone() {
+        for i in 0..self.peers.len() {
+            let peer = self.peers[i];
             if !self.votes_granted.contains(&peer) {
                 self.send(peer, Message::RequestVote(args), Some(broadcast), out);
             }
@@ -168,9 +170,11 @@ impl Node {
         for peer in &self.peers {
             self.next_index.insert(*peer, next);
             self.match_index.insert(*peer, crate::types::LogIndex::ZERO);
+            self.inflight.insert(*peer, 0);
         }
+        self.propose_times.clear();
 
-        self.policy.became_leader(&self.peers.clone());
+        self.policy.became_leader(&self.peers);
         // The policy retired/restamped its own configuration on winning.
         self.persist_current_config();
 

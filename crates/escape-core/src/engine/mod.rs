@@ -48,7 +48,7 @@ mod replication;
 #[cfg(test)]
 mod tests;
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use bytes::Bytes;
 
@@ -175,6 +175,11 @@ pub struct Options {
     pub heartbeat_interval: Duration,
     /// Cap on entries shipped per `AppendEntries`.
     pub max_entries_per_append: usize,
+    /// Cap on unacknowledged entry-carrying `AppendEntries` windows per
+    /// follower. `1` degenerates to one-round-trip-at-a-time replication;
+    /// higher values pipeline: the leader keeps sending windows ahead of
+    /// the acks, and each ack tops the pipeline back up.
+    pub max_inflight_appends: usize,
     /// Whether a fresh leader appends a no-op entry to commit its
     /// predecessors' entries promptly (Raft §8).
     pub leader_noop: bool,
@@ -193,6 +198,7 @@ impl Default for Options {
         Options {
             heartbeat_interval: Duration::from_millis(150),
             max_entries_per_append: 128,
+            max_inflight_appends: 4,
             leader_noop: true,
             vote_retry_interval: Some(Duration::from_millis(500)),
             snapshot_threshold: None,
@@ -323,6 +329,8 @@ impl NodeBuilder {
             votes_granted: BTreeSet::new(),
             next_index: BTreeMap::new(),
             match_index: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            propose_times: VecDeque::new(),
             election_epoch: 0,
             heartbeat_epoch: 0,
             vote_retry_epoch: 0,
@@ -373,6 +381,16 @@ pub struct Node {
     // ---- leader volatile state ----
     next_index: BTreeMap<ServerId, LogIndex>,
     match_index: BTreeMap<ServerId, LogIndex>,
+    /// Unacked entry-carrying `AppendEntries` windows per follower (the
+    /// pipelining credit). Counted down on every reply, saturating — a
+    /// lost window's credit is reclaimed by subsequent heartbeat replies
+    /// rather than leaking forever.
+    inflight: BTreeMap<ServerId, usize>,
+    /// Propose timestamps of this leader's own entries awaiting commit,
+    /// in index order, for the commit-latency histogram. Cleared on any
+    /// role change (a deposed leader's entries may commit under a
+    /// successor; their latency is no longer ours to report).
+    propose_times: VecDeque<(LogIndex, Time)>,
 
     // ---- snapshotting ----
     latest_snapshot: Option<SnapshotHandle>,
@@ -514,6 +532,8 @@ impl Node {
         self.votes_granted.clear();
         self.next_index.clear();
         self.match_index.clear();
+        self.inflight.clear();
+        self.propose_times.clear();
         self.commit_index = self.last_applied;
         self.policy.stepped_down();
         // Invalidate any pre-crash timers.
@@ -569,7 +589,9 @@ impl Node {
     }
 
     /// Proposes a command for replication. Only the leader accepts
-    /// proposals; the entry is appended locally and fanned out immediately.
+    /// proposals. Equivalent to a [`Node::propose_batch`] of one: the
+    /// entry is appended, persisted, and flushed to every follower before
+    /// the call returns.
     ///
     /// # Errors
     ///
@@ -580,24 +602,51 @@ impl Node {
         command: Bytes,
         now: Time,
     ) -> Result<(LogIndex, Vec<Action>), ProposeError> {
+        let (indexes, out) = self.propose_batch(vec![command], now)?;
+        Ok((indexes[0], out))
+    }
+
+    /// Proposes a batch of commands for replication: all entries are
+    /// appended locally, persisted with **one** storage flush (group
+    /// commit), and fanned out in **one** coalesced `AppendEntries` round
+    /// per follower — the batched fast path the per-command
+    /// [`Node::propose`] cannot amortize. Returns the assigned indexes
+    /// (always consecutive) alongside the actions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProposeError::NotLeader`] (with a leader hint when known)
+    /// if this node does not currently lead. An empty batch on a leader
+    /// returns `Ok` with no indexes and no actions.
+    pub fn propose_batch(
+        &mut self,
+        commands: Vec<Bytes>,
+        now: Time,
+    ) -> Result<(Vec<LogIndex>, Vec<Action>), ProposeError> {
         if self.role != Role::Leader {
             return Err(ProposeError::NotLeader {
                 hint: self.leader_hint,
             });
         }
-        let index = self
-            .log
-            .append_new(self.current_term, crate::log::Payload::Command(command));
-        self.persist_last_entry();
-        let mut out = Vec::new();
-        let broadcast = self.next_broadcast_id();
-        for peer in self.peers.clone() {
-            self.send_append_entries(peer, Some(broadcast), &mut out);
+        if commands.is_empty() {
+            return Ok((Vec::new(), Vec::new()));
         }
+        let mut indexes = Vec::with_capacity(commands.len());
+        for command in commands {
+            let index = self
+                .log
+                .append_new(self.current_term, crate::log::Payload::Command(command));
+            self.propose_times.push_back((index, now));
+            indexes.push(index);
+        }
+        self.metrics.record_batch(indexes.len());
+        self.persist_tail_entries(indexes.len());
+        let mut out = Vec::new();
+        self.flush_replication(now, &mut out);
         // A single-node cluster commits immediately.
         self.advance_commit(now, &mut out);
         self.sync_storage();
-        Ok((index, out))
+        Ok((indexes, out))
     }
 
     // ---- shared internals ----
@@ -621,6 +670,8 @@ impl Node {
         self.votes_granted.clear();
         self.next_index.clear();
         self.match_index.clear();
+        self.inflight.clear();
+        self.propose_times.clear();
         self.policy.stepped_down();
         self.metrics.step_downs += 1;
         if was == Role::Leader {
@@ -706,6 +757,20 @@ impl Node {
         self.storage
             .persist_entry(&entry)
             .expect("storage failed to persist log entry");
+        self.storage_dirty = true;
+    }
+
+    /// Records the last `count` entries appended at the log tail as one
+    /// storage batch — the group-commit write path: every record lands in
+    /// the WAL's buffer, and the single pre-return
+    /// [`Node::sync_storage`] flush covers them all.
+    pub(super) fn persist_tail_entries(&mut self, count: usize) {
+        let last = self.log.last_index();
+        let from = LogIndex::new(last.get() - count as u64);
+        let entries = self.log.entries_from(from, count);
+        self.storage
+            .persist_entries(&entries)
+            .expect("storage failed to persist log entries");
         self.storage_dirty = true;
     }
 

@@ -26,9 +26,11 @@ impl Node {
         self.arm_heartbeat_timer(now, out);
     }
 
-    /// One leader-to-followers fan-out: PPF rearrangement first, then an
-    /// `AppendEntries` per follower carrying entries from its `next_index`
-    /// and (under ESCAPE) its freshly assigned configuration.
+    /// One leader-to-followers round: PPF rearrangement first, then each
+    /// follower's replication pipeline is topped up ([`Node::pump_peer`]);
+    /// a follower with nothing to ship (or a full pipeline) still gets an
+    /// empty `AppendEntries` so the failure detector and the PPF
+    /// configuration piggyback never miss a beat.
     pub(super) fn heartbeat_round(&mut self, _now: Time, out: &mut Vec<Action>) {
         if self.policy.begin_heartbeat_round() {
             self.metrics.rearrangements_issued += 1;
@@ -37,14 +39,112 @@ impl Node {
             self.persist_current_config();
         }
         let broadcast = self.next_broadcast_id();
-        for peer in self.peers.clone() {
-            self.send_append_entries(peer, Some(broadcast), out);
+        // Index loop: `send` needs `&mut self`, and cloning the peer list
+        // on every heartbeat was a measurable per-round allocation.
+        for i in 0..self.peers.len() {
+            let peer = self.peers[i];
+            let before = out.len();
+            self.pump_peer(peer, Some(broadcast), out);
+            if out.len() == before {
+                self.send_heartbeat(peer, Some(broadcast), out);
+            }
         }
     }
 
-    /// Builds and queues one `AppendEntries` for `peer`, falling back to
-    /// `InstallSnapshot` when the needed entries were compacted away.
-    pub(super) fn send_append_entries(
+    /// Drains every follower whose pipeline has both backlog and credit —
+    /// the flush half of the dirty-peer model: [`Node::propose_batch`]
+    /// appends (marking peers implicitly dirty by moving the log tail
+    /// past their `next_index`), this fans out. Naturally a no-op for
+    /// peers that are caught up or out of credit.
+    pub(super) fn flush_replication(&mut self, _now: Time, out: &mut Vec<Action>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let broadcast = self.next_broadcast_id();
+        for i in 0..self.peers.len() {
+            let peer = self.peers[i];
+            self.pump_peer(peer, Some(broadcast), out);
+        }
+    }
+
+    /// Sends replication windows to `peer` until it is caught up, its
+    /// pipeline credit ([`Options::max_inflight_appends`]) is spent, or
+    /// nothing useful can be sent. Each entry-carrying window advances
+    /// `next_index` *optimistically* — the next window starts where the
+    /// previous one ended instead of waiting for its ack — which is what
+    /// turns replication into a pipeline; a rejection walks `next_index`
+    /// back down (see [`Node::on_append_entries_reply`]).
+    pub(super) fn pump_peer(
+        &mut self,
+        peer: ServerId,
+        broadcast: Option<u64>,
+        out: &mut Vec<Action>,
+    ) {
+        loop {
+            let credit = self.inflight.get(&peer).copied().unwrap_or(0);
+            if credit >= self.options.max_inflight_appends {
+                return;
+            }
+            let next = self
+                .next_index
+                .get(&peer)
+                .copied()
+                .unwrap_or_else(|| self.log.last_index().next());
+            if next > self.log.last_index() {
+                return; // caught up (or everything already in flight)
+            }
+            let source = self
+                .log
+                .replication_source(next.prev_saturating(), self.options.max_entries_per_append);
+            match source {
+                ReplicationSource::Entries {
+                    prev_index,
+                    prev_term,
+                    entries,
+                } => {
+                    debug_assert!(!entries.is_empty(), "next <= last implies entries");
+                    let sent_through = entries.last().expect("non-empty").index;
+                    let args = AppendEntriesArgs {
+                        term: self.current_term,
+                        leader_id: self.id,
+                        prev_log_index: prev_index,
+                        prev_log_term: prev_term,
+                        entries,
+                        leader_commit: self.commit_index,
+                        new_config: self.policy.config_for(peer),
+                    };
+                    self.send(peer, Message::AppendEntries(args), broadcast, out);
+                    self.next_index.insert(peer, sent_through.next());
+                    *self.inflight.entry(peer).or_insert(0) += 1;
+                }
+                ReplicationSource::NeedSnapshot => {
+                    let Some(snapshot) = self.latest_snapshot.clone() else {
+                        // Compacted without retained data (snapshotting
+                        // disabled): nothing useful to send this round.
+                        return;
+                    };
+                    let resume_from = snapshot.index.next();
+                    let args = InstallSnapshotArgs {
+                        term: self.current_term,
+                        leader_id: self.id,
+                        last_included_index: snapshot.index,
+                        last_included_term: snapshot.term,
+                        data: snapshot.data,
+                    };
+                    self.send(peer, Message::InstallSnapshot(args), broadcast, out);
+                    // Optimistically resume entry shipping above the
+                    // snapshot; the reply re-anchors if it was stale.
+                    self.next_index.insert(peer, resume_from);
+                    *self.inflight.entry(peer).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    /// Queues one empty `AppendEntries` for `peer`: the keepalive that
+    /// feeds its failure detector, carries the leader's commit index, and
+    /// piggybacks the PPF configuration assignment (Listing 1).
+    pub(super) fn send_heartbeat(
         &mut self,
         peer: ServerId,
         broadcast: Option<u64>,
@@ -55,42 +155,29 @@ impl Node {
             .get(&peer)
             .copied()
             .unwrap_or_else(|| self.log.last_index().next());
-        let source = self
-            .log
-            .replication_source(next.prev_saturating(), self.options.max_entries_per_append);
-        match source {
-            ReplicationSource::Entries {
-                prev_index,
-                prev_term,
-                entries,
-            } => {
-                let args = AppendEntriesArgs {
-                    term: self.current_term,
-                    leader_id: self.id,
-                    prev_log_index: prev_index,
-                    prev_log_term: prev_term,
-                    entries,
-                    leader_commit: self.commit_index,
-                    new_config: self.policy.config_for(peer),
-                };
-                self.send(peer, Message::AppendEntries(args), broadcast, out);
-            }
-            ReplicationSource::NeedSnapshot => {
-                let Some(snapshot) = self.latest_snapshot.clone() else {
-                    // Compacted without retained data (snapshotting
-                    // disabled): nothing useful to send this round.
-                    return;
-                };
-                let args = InstallSnapshotArgs {
-                    term: self.current_term,
-                    leader_id: self.id,
-                    last_included_index: snapshot.index,
-                    last_included_term: snapshot.term,
-                    data: snapshot.data,
-                };
-                self.send(peer, Message::InstallSnapshot(args), broadcast, out);
-            }
-        }
+        let prev_index = next.prev_saturating();
+        let Some(prev_term) = self.log.term_at(prev_index) else {
+            // The pipeline's anchor was compacted away — which means the
+            // optimistically sent windows below it were lost (a live
+            // follower would have acked them past the compaction point
+            // long before the log compacted). No keepalive can anchor
+            // there; reset the pipeline onto the compaction horizon and
+            // pump, which ships the snapshot this follower now needs.
+            self.inflight.insert(peer, 0);
+            self.next_index.insert(peer, self.log.snapshot_index());
+            self.pump_peer(peer, broadcast, out);
+            return;
+        };
+        let args = AppendEntriesArgs {
+            term: self.current_term,
+            leader_id: self.id,
+            prev_log_index: prev_index,
+            prev_log_term: prev_term,
+            entries: Vec::new(),
+            leader_commit: self.commit_index,
+            new_config: self.policy.config_for(peer),
+        };
+        self.send(peer, Message::AppendEntries(args), broadcast, out);
     }
 
     /// An `InstallSnapshot` arrived: adopt the state if it extends ours.
@@ -157,16 +244,24 @@ impl Node {
         if self.role != Role::Leader || reply.term != self.current_term {
             return;
         }
+        self.reclaim_inflight(from);
         let match_index = self.match_index.entry(from).or_insert(LogIndex::ZERO);
         if reply.match_hint > *match_index {
             *match_index = reply.match_hint;
         }
         let matched = *match_index;
-        self.next_index.insert(from, matched.next());
+        // Forward-only: entry windows pipelined above the snapshot are
+        // already in flight; snapping `next_index` back to the ack point
+        // would re-send them all.
+        let next = self
+            .next_index
+            .get(&from)
+            .copied()
+            .unwrap_or(LogIndex::ZERO)
+            .max(matched.next());
+        self.next_index.insert(from, next);
         self.advance_commit(now, out);
-        if matched < self.log.last_index() {
-            self.send_append_entries(from, None, out);
-        }
+        self.pump_peer(from, None, out);
     }
 
     /// Compacts the log once enough applied entries accumulate above the
@@ -295,6 +390,10 @@ impl Node {
             return; // stale reply
         }
 
+        // Every reply returns one unit of pipeline credit (saturating:
+        // heartbeat replies may return credit a lost window never will).
+        self.reclaim_inflight(from);
+
         // PPF input: record the follower's log responsiveness.
         if let Some(status) = reply.status {
             self.policy.follower_status(from, status);
@@ -306,15 +405,33 @@ impl Node {
                 *match_index = reply.match_hint;
             }
             let matched = *match_index;
-            self.next_index.insert(from, matched.next());
+            // Forward-only (see the pipelining note in `pump_peer`):
+            // acks for older windows must not drag the optimistic
+            // `next_index` back over entries already in flight.
+            let next = self
+                .next_index
+                .get(&from)
+                .copied()
+                .unwrap_or(LogIndex::ZERO)
+                .max(matched.next());
+            self.next_index.insert(from, next);
             self.advance_commit(now, out);
-            // Keep streaming if the follower is still behind.
-            if matched < self.log.last_index() {
-                self.send_append_entries(from, None, out);
-            }
+            // Keep the pipeline full if the follower is still behind.
+            self.pump_peer(from, None, out);
         } else {
             // Backtrack: at most to just past the follower's last index,
-            // otherwise one step, floored at 1.
+            // otherwise one step, floored at 1. A rejection also voids
+            // the optimistic pipeline: everything in flight above the
+            // backtrack point will be rejected too, so its credit is
+            // reclaimed now and the repair window burst goes out
+            // immediately. The cost is bounded duplicate traffic when
+            // several in-flight windows bounce (each of their rejections
+            // re-pumps from the same point, ≤ `max_inflight_appends`
+            // windows each, all idempotent on the follower); the
+            // alternative — reclaiming one credit per rejection — leaves
+            // phantom credit that throttles repair to one window per
+            // round trip, which measurably slows catch-up under the
+            // paper's lossy-network experiments.
             let current = self
                 .next_index
                 .get(&from)
@@ -323,13 +440,23 @@ impl Node {
             let stepped = current.prev_saturating().max(LogIndex::new(1));
             let capped = stepped.min(reply.match_hint.next());
             self.next_index.insert(from, capped.max(LogIndex::new(1)));
-            self.send_append_entries(from, None, out);
+            self.inflight.insert(from, 0);
+            self.pump_peer(from, None, out);
+        }
+    }
+
+    /// Returns one unit of `peer`'s pipeline credit, saturating at zero
+    /// (replies to heartbeats and to windows sent before a pipeline reset
+    /// may over-return).
+    fn reclaim_inflight(&mut self, peer: ServerId) {
+        if let Some(credit) = self.inflight.get_mut(&peer) {
+            *credit = credit.saturating_sub(1);
         }
     }
 
     /// Advances the commit index to the highest replicated-on-a-quorum entry
     /// of the *current* term (the Raft §5.4.2 restriction), then applies.
-    pub(super) fn advance_commit(&mut self, _now: Time, out: &mut Vec<Action>) {
+    pub(super) fn advance_commit(&mut self, now: Time, out: &mut Vec<Action>) {
         if self.role != Role::Leader {
             return;
         }
@@ -350,6 +477,16 @@ impl Node {
         if candidate > self.commit_index {
             self.commit_index = candidate;
             self.metrics.entries_committed += 1;
+            // Commit-latency histogram: everything this leader proposed
+            // at or below the new commit index just committed.
+            while let Some(&(index, proposed_at)) = self.propose_times.front() {
+                if index > candidate {
+                    break;
+                }
+                self.propose_times.pop_front();
+                self.metrics
+                    .record_commit_latency(now.saturating_since(proposed_at));
+            }
             out.push(Action::Committed { index: candidate });
             self.apply_committed(out);
         }

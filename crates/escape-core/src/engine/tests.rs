@@ -822,6 +822,15 @@ impl crate::storage::Storage for TracingStorage {
         Ok(())
     }
 
+    fn persist_entries(&mut self, entries: &[crate::log::Entry]) -> std::io::Result<()> {
+        self.calls.borrow_mut().push(format!(
+            "entries n={} first={}",
+            entries.len(),
+            entries.first().map_or(0, |e| e.index.get())
+        ));
+        Ok(())
+    }
+
     fn persist_appended(
         &mut self,
         prev_index: LogIndex,
@@ -967,5 +976,253 @@ fn follower_appends_persist_only_real_changes() {
         calls.borrow().iter().all(|c| !c.starts_with("appended")),
         "duplicate redelivery must not re-persist: {:?}",
         calls.borrow()
+    );
+}
+
+// ---- batched + pipelined replication ----
+
+/// Builds a 3-node cluster with node 1 as leader, with explicit options,
+/// without delivering anything to peers (their acks are hand-fed), so the
+/// pipeline window is observable.
+fn undelivered_leader(options: Options) -> (Node, Vec<ServerId>) {
+    let ids: Vec<ServerId> = (1..=3).map(ServerId::new).collect();
+    let mut node = Node::builder(ids[0], ids.clone())
+        .policy(Box::new(RaftPolicy::with_source(Box::new(
+            ScriptedTimeouts::new(vec![Duration::from_millis(1000)]),
+        ))))
+        .options(options)
+        .build();
+    node.start(Time::ZERO);
+    let token = TimerToken {
+        kind: TimerKind::Election,
+        epoch: 1,
+    };
+    node.handle_timer(token, Time::from_millis(1000));
+    for peer in [ids[1], ids[2]] {
+        node.handle_message(
+            peer,
+            Message::RequestVoteReply(crate::message::RequestVoteReply {
+                term: node.current_term(),
+                vote_granted: true,
+            }),
+            Time::from_millis(1000),
+        );
+    }
+    assert!(node.is_leader());
+    (node, ids)
+}
+
+fn appends_to(actions: &[Action], to: ServerId) -> Vec<&crate::message::AppendEntriesArgs> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Send {
+                to: dest,
+                msg: Message::AppendEntries(args),
+                ..
+            } if *dest == to => Some(args),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn propose_batch_coalesces_into_one_window_per_peer() {
+    let mut pump = raft_cluster(3);
+    pump.fire(ServerId::new(1), TimerKind::Election);
+    pump.fire(ServerId::new(1), TimerKind::Heartbeat); // commit the no-op
+
+    let now = pump.now;
+    let commands: Vec<Bytes> = (0..5)
+        .map(|i| Bytes::from(format!("batch-cmd-{i}")))
+        .collect();
+    let (indexes, actions) = pump
+        .node_mut(1)
+        .propose_batch(commands, now)
+        .expect("leader accepts the batch");
+    assert_eq!(indexes.len(), 5);
+    for pair in indexes.windows(2) {
+        assert_eq!(pair[1], pair[0].next(), "batch indexes must be consecutive");
+    }
+    // One entry-carrying AppendEntries per peer — not five.
+    for peer in [2u32, 3] {
+        let appends = appends_to(&actions, ServerId::new(peer));
+        assert_eq!(appends.len(), 1, "S{peer} must get one coalesced window");
+        assert_eq!(appends[0].entries.len(), 5);
+    }
+
+    pump.absorb(ServerId::new(1), actions);
+    pump.settle();
+    assert!(pump.node(1).commit_index() >= *indexes.last().unwrap());
+    pump.fire(ServerId::new(1), TimerKind::Heartbeat);
+    for id in [2u32, 3] {
+        assert!(pump.node(id).commit_index() >= *indexes.last().unwrap());
+        assert_eq!(
+            pump.node(id).log().last_index(),
+            pump.node(1).log().last_index()
+        );
+    }
+    // Metrics observed the batch.
+    let m = pump.node(1).metrics();
+    assert_eq!(m.propose_batches, 1);
+    assert_eq!(m.commands_proposed, 5);
+    assert!(m.commits_timed >= 5, "committed proposals must be timed");
+}
+
+#[test]
+fn empty_propose_batch_is_a_leader_noop() {
+    let mut pump = raft_cluster(3);
+    pump.fire(ServerId::new(1), TimerKind::Election);
+    let now = pump.now;
+    let (indexes, actions) = pump.node_mut(1).propose_batch(Vec::new(), now).unwrap();
+    assert!(indexes.is_empty());
+    assert!(actions.is_empty());
+    let err = pump
+        .node_mut(2)
+        .propose_batch(vec![Bytes::from_static(b"x")], now)
+        .unwrap_err();
+    assert!(matches!(err, ProposeError::NotLeader { .. }));
+}
+
+/// The pipeline sends ahead of acks up to `max_inflight_appends` windows,
+/// stalls at the cap, and each ack tops it back up — instead of one
+/// round-trip per window.
+#[test]
+fn replication_pipelines_up_to_the_inflight_cap() {
+    let (mut node, ids) = undelivered_leader(Options {
+        max_entries_per_append: 1,
+        max_inflight_appends: 2,
+        vote_retry_interval: None,
+        ..Options::default()
+    });
+    let peer = ids[1];
+    let now = Time::from_millis(1001);
+
+    // Becoming leader already shipped the no-op window (credit 1 of 2).
+    // The first propose pipelines a second window ahead of any ack…
+    let (_, actions) = node.propose(Bytes::from_static(b"c1"), now).unwrap();
+    assert_eq!(appends_to(&actions, peer).len(), 1, "window 2 of 2 sent");
+    // …and the next two proposes find the pipeline full: appended and
+    // persisted, but nothing sent to this peer yet.
+    let (_, actions) = node.propose(Bytes::from_static(b"c2"), now).unwrap();
+    assert!(appends_to(&actions, peer).is_empty(), "credit exhausted");
+    let (i3, actions) = node.propose(Bytes::from_static(b"c3"), now).unwrap();
+    assert!(appends_to(&actions, peer).is_empty(), "still exhausted");
+
+    // One ack (for the no-op window) returns one credit: exactly one
+    // backlog window ships, carrying the oldest unsent entry.
+    let ack = Message::AppendEntriesReply(crate::message::AppendEntriesReply {
+        term: node.current_term(),
+        success: true,
+        match_hint: LogIndex::new(1),
+        status: None,
+    });
+    let actions = node.handle_message(peer, ack, now);
+    let appends = appends_to(&actions, peer);
+    assert_eq!(appends.len(), 1, "one ack buys one window");
+    assert_eq!(appends[0].entries.len(), 1);
+    assert_eq!(appends[0].entries[0].index, LogIndex::new(3), "oldest unsent");
+
+    // An ack confirming everything so far drains the rest of the backlog
+    // within the restored credit.
+    let ack = Message::AppendEntriesReply(crate::message::AppendEntriesReply {
+        term: node.current_term(),
+        success: true,
+        match_hint: LogIndex::new(3),
+        status: None,
+    });
+    let actions = node.handle_message(peer, ack, now);
+    let appends = appends_to(&actions, peer);
+    assert_eq!(appends.len(), 1);
+    assert_eq!(appends[0].entries[0].index, i3);
+}
+
+/// A rejection voids the optimistic pipeline: `next_index` walks back
+/// to the follower's hint, the in-flight credit is reclaimed, and the
+/// backlog is re-sent from there at once (fast repair; see the
+/// trade-off note in `on_append_entries_reply`).
+#[test]
+fn rejection_backtracks_and_resends_the_backlog() {
+    let (mut node, ids) = undelivered_leader(Options {
+        max_entries_per_append: 8,
+        max_inflight_appends: 4,
+        vote_retry_interval: None,
+        ..Options::default()
+    });
+    let peer = ids[1];
+    let now = Time::from_millis(1001);
+    for c in [&b"c1"[..], b"c2", b"c3"] {
+        node.propose(Bytes::copy_from_slice(c), now).unwrap();
+    }
+
+    // The follower rejects (it diverged): match_hint names its tail.
+    let nack = Message::AppendEntriesReply(crate::message::AppendEntriesReply {
+        term: node.current_term(),
+        success: false,
+        match_hint: LogIndex::ZERO,
+        status: None,
+    });
+    let actions = node.handle_message(peer, nack, now);
+    let appends = appends_to(&actions, peer);
+    assert_eq!(appends.len(), 1, "backtracked re-send");
+    assert_eq!(appends[0].prev_log_index, LogIndex::ZERO, "re-anchored at the hint");
+    assert_eq!(appends[0].entries.len(), 4, "no-op + 3 commands re-shipped");
+}
+
+/// Group commit at the engine/storage boundary: a batch of N commands is
+/// persisted as one batched record run followed by exactly one sync, and
+/// the sync precedes the returned actions (write-ahead preserved).
+#[test]
+fn propose_batch_persists_all_entries_before_one_sync() {
+    let calls = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let ids: Vec<ServerId> = (1..=3).map(ServerId::new).collect();
+    let mut node = Node::builder(ids[0], ids.clone())
+        .policy(Box::new(RaftPolicy::with_source(Box::new(
+            ScriptedTimeouts::new(vec![Duration::from_millis(1000)]),
+        ))))
+        .options(Options {
+            leader_noop: false, // isolate the batch's records
+            vote_retry_interval: None,
+            ..Options::default()
+        })
+        .storage(Box::new(TracingStorage {
+            calls: calls.clone(),
+        }))
+        .build();
+    node.start(Time::ZERO);
+    node.handle_timer(
+        TimerToken {
+            kind: TimerKind::Election,
+            epoch: 1,
+        },
+        Time::from_millis(1000),
+    );
+    for peer in [ids[1], ids[2]] {
+        node.handle_message(
+            peer,
+            Message::RequestVoteReply(crate::message::RequestVoteReply {
+                term: node.current_term(),
+                vote_granted: true,
+            }),
+            Time::from_millis(1000),
+        );
+    }
+    assert!(node.is_leader());
+
+    calls.borrow_mut().clear();
+    let commands: Vec<Bytes> = (0..4).map(|i| Bytes::from(format!("gc-{i}"))).collect();
+    let (indexes, actions) = node
+        .propose_batch(commands, Time::from_millis(1001))
+        .unwrap();
+    assert_eq!(indexes.len(), 4);
+    assert!(
+        actions.iter().any(|a| matches!(a, Action::Send { .. })),
+        "the batch must fan out"
+    );
+    let seen = calls.borrow();
+    assert_eq!(
+        *seen,
+        vec!["entries n=4 first=1".to_string(), "sync".to_string()],
+        "one batched record run, then exactly one sync, before any action"
     );
 }

@@ -2,9 +2,21 @@
 //!
 //! Light-weight counters the engine bumps as it runs; the cluster harness
 //! aggregates them to report, e.g., message complexity (Theorem 5 predicts
-//! `O(n²)` transmissions per election, `O(n)` in the best case).
+//! `O(n²)` transmissions per election, `O(n)` in the best case). The
+//! replication pipeline adds two fixed-bucket histograms: proposal batch
+//! sizes and propose→commit latency, both cheap enough to bump on the
+//! hot path (an array index increment).
 
 use crate::message::MessageKind;
+use crate::time::Duration;
+
+/// Upper bounds (inclusive) of the batch-size histogram buckets; batches
+/// larger than the last bound land in the overflow bucket.
+pub const BATCH_SIZE_BOUNDS: [u64; 5] = [1, 4, 16, 64, 256];
+
+/// Upper bounds (inclusive, in microseconds) of the commit-latency
+/// histogram buckets; slower commits land in the overflow bucket.
+pub const COMMIT_LATENCY_BOUNDS_MICROS: [u64; 5] = [100, 1_000, 10_000, 50_000, 250_000];
 
 /// Counters for one node's lifetime.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -41,6 +53,22 @@ pub struct NodeMetrics {
     pub rearrangements_issued: u64,
     /// Configuration updates adopted from heartbeats (followers only).
     pub configs_adopted: u64,
+    /// Proposal batches accepted while leading (a single `propose` counts
+    /// as a batch of one).
+    pub propose_batches: u64,
+    /// Commands accepted across all proposal batches.
+    pub commands_proposed: u64,
+    /// Batch-size distribution: bucket `i` counts batches of size
+    /// ≤ [`BATCH_SIZE_BOUNDS`]`[i]`; the last slot is the overflow.
+    pub batch_size_histogram: [u64; BATCH_SIZE_BOUNDS.len() + 1],
+    /// Propose→commit latency distribution: bucket `i` counts commits
+    /// within [`COMMIT_LATENCY_BOUNDS_MICROS`]`[i]` µs; the last slot is
+    /// the overflow.
+    pub commit_latency_histogram: [u64; COMMIT_LATENCY_BOUNDS_MICROS.len() + 1],
+    /// Sum of all measured propose→commit latencies, for averaging.
+    pub commit_latency_total_micros: u64,
+    /// Number of commits that contributed a latency measurement.
+    pub commits_timed: u64,
 }
 
 impl NodeMetrics {
@@ -52,6 +80,47 @@ impl NodeMetrics {
     /// Total messages sent, any kind.
     pub fn messages_sent(&self) -> u64 {
         self.append_entries_sent + self.request_votes_sent + self.snapshots_sent + self.replies_sent
+    }
+
+    /// Mean propose→commit latency, if any commit was timed.
+    pub fn mean_commit_latency(&self) -> Option<Duration> {
+        if self.commits_timed == 0 {
+            return None;
+        }
+        Some(Duration::from_micros(
+            self.commit_latency_total_micros / self.commits_timed,
+        ))
+    }
+
+    /// Mean commands per proposal batch, if any batch was accepted.
+    pub fn mean_batch_size(&self) -> Option<f64> {
+        if self.propose_batches == 0 {
+            return None;
+        }
+        Some(self.commands_proposed as f64 / self.propose_batches as f64)
+    }
+
+    /// Records one accepted proposal batch of `commands` commands.
+    pub(crate) fn record_batch(&mut self, commands: usize) {
+        self.propose_batches += 1;
+        self.commands_proposed += commands as u64;
+        let slot = BATCH_SIZE_BOUNDS
+            .iter()
+            .position(|&bound| commands as u64 <= bound)
+            .unwrap_or(BATCH_SIZE_BOUNDS.len());
+        self.batch_size_histogram[slot] += 1;
+    }
+
+    /// Records one proposal's propose→commit latency.
+    pub(crate) fn record_commit_latency(&mut self, latency: Duration) {
+        let micros = latency.as_micros();
+        let slot = COMMIT_LATENCY_BOUNDS_MICROS
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(COMMIT_LATENCY_BOUNDS_MICROS.len());
+        self.commit_latency_histogram[slot] += 1;
+        self.commit_latency_total_micros += micros;
+        self.commits_timed += 1;
     }
 
     /// Records one outbound message of the given kind.
@@ -89,5 +158,36 @@ mod tests {
         let m = NodeMetrics::new();
         assert_eq!(m.messages_sent(), 0);
         assert_eq!(m, NodeMetrics::default());
+        assert_eq!(m.mean_commit_latency(), None);
+        assert_eq!(m.mean_batch_size(), None);
+    }
+
+    #[test]
+    fn batch_histogram_buckets_by_size() {
+        let mut m = NodeMetrics::new();
+        m.record_batch(1);
+        m.record_batch(3);
+        m.record_batch(16);
+        m.record_batch(200);
+        m.record_batch(10_000); // overflow
+        assert_eq!(m.propose_batches, 5);
+        assert_eq!(m.commands_proposed, 1 + 3 + 16 + 200 + 10_000);
+        assert_eq!(m.batch_size_histogram, [1, 1, 1, 0, 1, 1]);
+        assert!(m.mean_batch_size().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_by_duration() {
+        let mut m = NodeMetrics::new();
+        m.record_commit_latency(Duration::from_micros(50));
+        m.record_commit_latency(Duration::from_micros(100)); // inclusive bound
+        m.record_commit_latency(Duration::from_millis(5));
+        m.record_commit_latency(Duration::from_millis(400)); // overflow
+        assert_eq!(m.commit_latency_histogram, [2, 0, 1, 0, 0, 1]);
+        assert_eq!(m.commits_timed, 4);
+        assert_eq!(
+            m.mean_commit_latency(),
+            Some(Duration::from_micros((50 + 100 + 5_000 + 400_000) / 4))
+        );
     }
 }

@@ -45,6 +45,21 @@ pub trait Storage: std::fmt::Debug + Send {
     /// The leader appended one brand-new entry at the log tail.
     fn persist_entry(&mut self, entry: &Entry) -> io::Result<()>;
 
+    /// The leader appended a dense run of brand-new entries at the log
+    /// tail (one proposal batch). The default forwards entry-by-entry;
+    /// implementations backed by a buffered WAL should override it to
+    /// encode the whole run before a single flush (group commit).
+    ///
+    /// # Errors
+    ///
+    /// As [`Storage::persist_entry`].
+    fn persist_entries(&mut self, entries: &[Entry]) -> io::Result<()> {
+        for entry in entries {
+            self.persist_entry(entry)?;
+        }
+        Ok(())
+    }
+
     /// A follower accepted an `AppendEntries` batch anchored at
     /// `(prev_index, prev_term)`, possibly truncating a conflicting
     /// suffix first. Replaying the same arguments through

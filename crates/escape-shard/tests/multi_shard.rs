@@ -223,3 +223,86 @@ fn killing_one_shards_leader_does_not_stall_the_others() {
         node.shutdown();
     }
 }
+
+/// Per-shard batching: one `propose_batch` call with keys spanning every
+/// shard routes each command to its owning group, coalesces per group,
+/// and reports per-command outcomes in input order.
+#[test]
+fn propose_batch_routes_and_batches_per_shard() {
+    let servers = 3;
+    let shards = 3;
+    let (addrs, listeners) = loopback_listeners(servers);
+    let nodes: Vec<Option<ShardedNode>> =
+        spawn_cluster(servers, shards, &addrs, &listeners)
+            .into_iter()
+            .map(Some)
+            .collect();
+    let groups: Vec<GroupId> = nodes[0].as_ref().unwrap().map().groups().collect();
+    let leaders = wait_for_all_leaders(&nodes, &groups, Duration::from_secs(15));
+
+    // Drive the batch through one server; it leads at least one group
+    // (boot-priority rotation spreads the leaders).
+    let server_index = *leaders.values().next().unwrap();
+    let server = nodes[server_index].as_ref().unwrap();
+    let led: Vec<GroupId> = groups
+        .iter()
+        .copied()
+        .filter(|g| leaders[g] == server_index)
+        .collect();
+    assert!(!led.is_empty());
+
+    let items: Vec<(Bytes, Bytes)> = (0..90)
+        .map(|i| {
+            let key = format!("batch-key-{i}");
+            let cmd = KvCommand::Put {
+                key: key.clone(),
+                value: Bytes::from(format!("v{i}")),
+            };
+            (Bytes::from(key), cmd.encode())
+        })
+        .collect();
+    let expected_groups: Vec<GroupId> = items
+        .iter()
+        .map(|(key, _)| server.route(key))
+        .collect();
+    let outcomes = server.propose_batch(items);
+    assert_eq!(outcomes.len(), 90);
+
+    let mut accepted: HashMap<GroupId, Vec<escape_core::types::LogIndex>> = HashMap::new();
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let expected = expected_groups[i];
+        match outcome {
+            Ok((group, index)) => {
+                assert_eq!(*group, expected, "item {i} committed in the wrong shard");
+                assert!(
+                    led.contains(group),
+                    "only locally led shards can accept here"
+                );
+                accepted.entry(*group).or_default().push(*index);
+            }
+            Err(ShardError::NotLeader { .. }) => {
+                assert!(
+                    !led.contains(&expected),
+                    "item {i}: a locally led shard must not refuse"
+                );
+            }
+            Err(other) => panic!("item {i}: unexpected outcome {other:?}"),
+        }
+    }
+    // Every locally led shard accepted its share, at increasing indexes,
+    // and applied through to the batch tail.
+    for group in &led {
+        let indexes = accepted.get(group).unwrap_or_else(|| {
+            panic!("led shard {group} accepted nothing")
+        });
+        assert!(indexes.windows(2).all(|p| p[1] > p[0]), "indexes must increase");
+        let last = *indexes.last().unwrap();
+        server
+            .await_applied(*group, last)
+            .expect("batched tail must apply");
+    }
+
+    for node in nodes.into_iter().flatten() {
+        node.shutdown();
+    }
+}

@@ -180,6 +180,19 @@ impl Storage for WalStorage {
         })
     }
 
+    /// Group commit: the whole batch is encoded into the WAL's buffer in
+    /// one go, and the engine's single post-batch [`Storage::sync`] makes
+    /// it durable with one `write` + one `fdatasync`.
+    fn persist_entries(&mut self, entries: &[Entry]) -> io::Result<()> {
+        let records: Vec<WalRecord> = entries
+            .iter()
+            .map(|entry| WalRecord::AppendEntry {
+                entry: entry.clone(),
+            })
+            .collect();
+        self.wal.append_many(&records)
+    }
+
     fn persist_appended(
         &mut self,
         prev_index: LogIndex,
@@ -470,6 +483,47 @@ mod tests {
             2,
             "the v2 tail segment is continued, not duplicated"
         );
+    }
+
+    /// The group-commit crash window: a node killed **between** the
+    /// buffered append and the `sync` barrier must come back with the
+    /// synced prefix intact (nothing acked is lost) and without the
+    /// buffered suffix (which no ack or message ever referenced) — in
+    /// particular, a buffered-but-unsynced vote must vanish rather than
+    /// half-apply, so the node cannot be tricked into a double vote.
+    #[test]
+    fn crash_between_buffered_append_and_sync_loses_only_unacked_records() {
+        let dir = scratch_dir("store-group-commit-crash");
+        {
+            let (mut storage, _) = WalStorage::open(&dir).unwrap();
+            // Acked prefix: vote + one entry, covered by a sync barrier
+            // (the engine only sends messages after this returns).
+            storage
+                .persist_hard_state(Term::new(5), Some(ServerId::new(2)))
+                .unwrap();
+            storage.persist_entry(&entry(5, 1, b"acked")).unwrap();
+            storage.sync().unwrap();
+            // Unacked suffix: a batch plus a newer vote, buffered but
+            // never synced — the kill lands here.
+            storage
+                .persist_entries(&[entry(5, 2, b"buffered-a"), entry(5, 3, b"buffered-b")])
+                .unwrap();
+            storage
+                .persist_hard_state(Term::new(9), Some(ServerId::new(3)))
+                .unwrap();
+            // Crash: dropped with the buffer full.
+        }
+        let (_, state) = WalStorage::open(&dir).unwrap();
+        assert_eq!(state.term, Term::new(5), "synced vote survives");
+        assert_eq!(state.voted_for, Some(ServerId::new(2)));
+        assert_eq!(
+            state.log.last_index(),
+            LogIndex::new(1),
+            "synced entry survives; buffered batch is gone whole"
+        );
+        // The buffered term-9 vote is gone *entirely* — the node restarts
+        // on the acked vote, so no grant it ever sent can be contradicted.
+        assert_ne!(state.term, Term::new(9));
     }
 
     #[test]

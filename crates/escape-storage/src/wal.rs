@@ -22,6 +22,18 @@
 //! *continue* the last segment ([`Wal::open_append`]) instead of always
 //! starting a fresh one: after repair the segment ends on a record
 //! boundary, so appending can never bury a tear behind valid records.
+//!
+//! # Group commit
+//!
+//! Appends are **deferred-sync**: [`Wal::append`] and
+//! [`Wal::append_many`] encode records into a user-space buffer and the
+//! [`Wal::sync`] barrier writes the whole buffer with one `write` and
+//! makes it durable with one `fdatasync` — so a batch of N records costs
+//! one syscall pair instead of N, and the engine's
+//! write-before-send invariant is carried entirely by the barrier:
+//! nothing buffered may be treated as durable (or acked) until `sync`
+//! returns. A crash between append and sync loses exactly the buffered
+//! suffix — records no message was ever allowed to reference.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
@@ -219,15 +231,21 @@ pub fn recover(dir: &Path) -> io::Result<Vec<WalRecord>> {
     Ok(records)
 }
 
-/// The active write-ahead log: an open segment plus rotation bookkeeping.
+/// The active write-ahead log: an open segment plus rotation bookkeeping
+/// and the group-commit buffer.
 #[derive(Debug)]
 pub struct Wal {
     dir: PathBuf,
     options: WalOptions,
     file: File,
     seq: u64,
+    /// Bytes in the active segment, counting the not-yet-flushed buffer.
     written: u64,
-    scratch: BytesMut,
+    /// Encoded-but-unflushed records (the group-commit window). Written
+    /// to the file by [`Wal::flush`] / [`Wal::sync`]; discarded by a
+    /// crash — which is exactly the durability contract, since nothing
+    /// in it was synced or acked.
+    buffer: BytesMut,
 }
 
 impl Wal {
@@ -253,7 +271,7 @@ impl Wal {
             file,
             seq,
             written: SEGMENT_MAGIC.len() as u64,
-            scratch: BytesMut::new(),
+            buffer: BytesMut::new(),
         })
     }
 
@@ -295,7 +313,7 @@ impl Wal {
             file,
             seq,
             written,
-            scratch: BytesMut::new(),
+            buffer: BytesMut::new(),
         }))
     }
 
@@ -304,25 +322,60 @@ impl Wal {
         self.seq
     }
 
-    /// Appends one record (buffered until [`Wal::sync`]), rotating first
-    /// if the active segment is over the cap.
+    /// Appends one record into the group-commit buffer (durable only
+    /// after [`Wal::sync`]), rotating first if the active segment is over
+    /// the cap.
     ///
     /// # Errors
     ///
-    /// I/O errors writing or rotating.
+    /// I/O errors from a rotation's flush.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
         if self.written >= self.options.segment_max_bytes {
             self.rotate()?;
         }
-        let payload = record.to_bytes();
-        self.scratch.clear();
-        write_record_v2(&mut self.scratch, &payload);
-        self.file.write_all(&self.scratch)?;
-        self.written += self.scratch.len() as u64;
+        let before = self.buffer.len();
+        write_record_v2(&mut self.buffer, &record.to_bytes());
+        self.written += (self.buffer.len() - before) as u64;
         Ok(())
     }
 
-    /// Closes the active segment (synced) and opens the next one.
+    /// Appends a whole batch of records into the group-commit buffer —
+    /// the [`Wal::append`] loop without per-record call overhead; one
+    /// [`Wal::sync`] then covers the entire batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`Wal::append`].
+    pub fn append_many(&mut self, records: &[WalRecord]) -> io::Result<()> {
+        for record in records {
+            self.append(record)?;
+        }
+        Ok(())
+    }
+
+    /// Bytes sitting in the group-commit buffer, not yet flushed to the
+    /// segment file (diagnostics/tests).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Writes the group-commit buffer to the segment file (one `write`
+    /// syscall), **without** forcing it to stable storage — crash
+    /// durability still requires [`Wal::sync`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the write.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.buffer.is_empty() {
+            self.file.write_all(&self.buffer)?;
+            self.buffer.clear();
+        }
+        Ok(())
+    }
+
+    /// Closes the active segment (flushed + synced) and opens the next
+    /// one.
     ///
     /// # Errors
     ///
@@ -334,12 +387,15 @@ impl Wal {
         Ok(())
     }
 
-    /// Makes everything appended so far durable (`fdatasync`).
+    /// The group-commit barrier: flushes the buffer and makes everything
+    /// appended so far durable (one `write` + one `fdatasync`, however
+    /// many records accumulated since the previous barrier).
     ///
     /// # Errors
     ///
-    /// I/O errors from the sync.
+    /// I/O errors from the flush or the sync.
     pub fn sync(&mut self) -> io::Result<()> {
+        self.flush()?;
         if self.options.fsync {
             self.file.sync_data()?;
         }
@@ -406,6 +462,35 @@ mod tests {
         let records = replay(&dir).unwrap();
         assert_eq!(records.len(), 40);
         assert_eq!(records[39], hard_state(40));
+    }
+
+    /// Group commit: appends sit in the user-space buffer (invisible to
+    /// replay) until the `sync` barrier, and a crash before the barrier
+    /// loses exactly the buffered suffix — never a synced record.
+    #[test]
+    fn buffered_appends_are_invisible_until_sync_and_lost_on_crash() {
+        let dir = scratch_dir("wal-group-commit");
+        let mut wal = Wal::create(&dir, 1, WalOptions::default()).unwrap();
+        wal.append_many(&[hard_state(1), hard_state(2)]).unwrap();
+        assert!(wal.buffered_bytes() > 0, "records must buffer, not write through");
+        assert_eq!(
+            replay(&dir).unwrap().len(),
+            0,
+            "unflushed records must not be readable"
+        );
+        wal.sync().unwrap();
+        assert_eq!(wal.buffered_bytes(), 0);
+        assert_eq!(replay(&dir).unwrap().len(), 2, "the barrier publishes the batch");
+
+        // Buffer two more, then crash (drop without sync).
+        wal.append_many(&[hard_state(3), hard_state(4)]).unwrap();
+        drop(wal);
+        let records = replay(&dir).unwrap();
+        assert_eq!(
+            records,
+            vec![hard_state(1), hard_state(2)],
+            "a crash loses exactly the unsynced suffix"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ use parking_lot::Mutex;
 
 use escape_core::engine::{Action, Node, ProposeError, TimerKind, TimerToken};
 use escape_core::message::Message;
+use escape_core::metrics::NodeMetrics;
 use escape_core::time::Time;
 use escape_core::types::{LogIndex, Role, ServerId, Term};
 
@@ -43,6 +44,9 @@ pub struct NodeStatus {
     pub last_applied: LogIndex,
     /// Log length.
     pub log_len: usize,
+    /// The engine's protocol counters at snapshot time — including the
+    /// replication pipeline's batch-size and commit-latency histograms.
+    pub metrics: NodeMetrics,
 }
 
 /// Everything a node thread can receive.
@@ -144,86 +148,127 @@ pub fn node_loop(
             _ => std::time::Duration::from_millis(50),
         };
 
-        match inbox.recv_timeout(wait) {
-            Ok(NodeInput::Shutdown) => return,
-            Ok(NodeInput::Pause) => {
-                paused = true;
-                timers.clear();
-                apply_waiters.clear();
-            }
-            Ok(NodeInput::Resume) => {
-                if paused {
-                    paused = false;
-                    let actions = node.restart(clock.now());
-                    absorb(
-                        actions,
-                        &mut timers,
-                        &mut apply_waiters,
-                        &mut recent_results,
-                        &outbound,
-                    );
+        let first = match inbox.recv_timeout(wait) {
+            Ok(input) => input,
+            // Due timers fire at the top of the next iteration.
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        // `carry` holds the non-proposal input a proposal drain pulled off
+        // the inbox; it is processed in the same pass, in arrival order.
+        let mut carry = Some(first);
+        while let Some(input) = carry.take() {
+            match input {
+                NodeInput::Shutdown => return,
+                NodeInput::Pause => {
+                    paused = true;
+                    timers.clear();
+                    apply_waiters.clear();
                 }
-            }
-            Ok(NodeInput::Peer(from, msg)) => {
-                if !paused {
-                    let actions = node.handle_message(from, msg, clock.now());
-                    absorb(
-                        actions,
-                        &mut timers,
-                        &mut apply_waiters,
-                        &mut recent_results,
-                        &outbound,
-                    );
+                NodeInput::Resume => {
+                    if paused {
+                        paused = false;
+                        let actions = node.restart(clock.now());
+                        absorb(
+                            actions,
+                            &mut timers,
+                            &mut apply_waiters,
+                            &mut recent_results,
+                            &outbound,
+                        );
+                    }
                 }
-            }
-            Ok(NodeInput::Propose { command, reply }) => {
-                if paused {
-                    let _ = reply.send(Err(ProposeError::NotLeader { hint: None }));
-                } else {
-                    match node.propose(command, clock.now()) {
-                        Ok((index, actions)) => {
-                            let _ = reply.send(Ok(index));
-                            absorb(
-                                actions,
-                                &mut timers,
-                                &mut apply_waiters,
-                                &mut recent_results,
-                                &outbound,
-                            );
+                NodeInput::Peer(from, msg) => {
+                    if !paused {
+                        let actions = node.handle_message(from, msg, clock.now());
+                        absorb(
+                            actions,
+                            &mut timers,
+                            &mut apply_waiters,
+                            &mut recent_results,
+                            &outbound,
+                        );
+                    }
+                }
+                NodeInput::Propose { command, reply } => {
+                    // Proposal-queue drain: grab every proposal already
+                    // waiting in the inbox (bounded) so one engine batch —
+                    // one WAL flush, one fan-out — covers them all. A
+                    // non-proposal input ends the drain and is carried
+                    // into the next pass, preserving arrival order.
+                    let mut commands = vec![command];
+                    let mut replies = vec![reply];
+                    while commands.len() < PROPOSE_BATCH_MAX {
+                        match inbox.try_recv() {
+                            Ok(NodeInput::Propose { command, reply }) => {
+                                commands.push(command);
+                                replies.push(reply);
+                            }
+                            Ok(other) => {
+                                carry = Some(other);
+                                break;
+                            }
+                            Err(_) => break,
                         }
-                        Err(e) => {
-                            let _ = reply.send(Err(e));
+                    }
+                    if paused {
+                        for reply in replies {
+                            let _ = reply.send(Err(ProposeError::NotLeader { hint: None }));
+                        }
+                    } else {
+                        match node.propose_batch(commands, clock.now()) {
+                            Ok((indexes, actions)) => {
+                                for (reply, index) in replies.into_iter().zip(indexes) {
+                                    let _ = reply.send(Ok(index));
+                                }
+                                absorb(
+                                    actions,
+                                    &mut timers,
+                                    &mut apply_waiters,
+                                    &mut recent_results,
+                                    &outbound,
+                                );
+                            }
+                            Err(e) => {
+                                for reply in replies {
+                                    let _ = reply.send(Err(e));
+                                }
+                            }
                         }
                     }
                 }
-            }
-            Ok(NodeInput::Query { reply }) => {
-                let _ = reply.send(NodeStatus {
-                    id: node.id(),
-                    role: if paused { Role::Follower } else { node.role() },
-                    term: node.current_term(),
-                    leader_hint: node.leader_hint(),
-                    commit_index: node.commit_index(),
-                    last_applied: node.last_applied(),
-                    log_len: node.log().len(),
-                });
-            }
-            Ok(NodeInput::AwaitApplied { index, reply }) => {
-                if node.last_applied() >= index {
-                    // Already applied: serve from the recent-results window
-                    // (empty payload if it aged out or was a no-op slot).
-                    let result = recent_results.get(&index).cloned().unwrap_or_default();
-                    let _ = reply.send(result);
-                } else {
-                    apply_waiters.entry(index).or_default().push(reply);
+                NodeInput::Query { reply } => {
+                    let _ = reply.send(NodeStatus {
+                        id: node.id(),
+                        role: if paused { Role::Follower } else { node.role() },
+                        term: node.current_term(),
+                        leader_hint: node.leader_hint(),
+                        commit_index: node.commit_index(),
+                        last_applied: node.last_applied(),
+                        log_len: node.log().len(),
+                        metrics: *node.metrics(),
+                    });
+                }
+                NodeInput::AwaitApplied { index, reply } => {
+                    if node.last_applied() >= index {
+                        // Already applied: serve from the recent-results
+                        // window (empty payload if it aged out or was a
+                        // no-op slot).
+                        let result = recent_results.get(&index).cloned().unwrap_or_default();
+                        let _ = reply.send(result);
+                    } else {
+                        apply_waiters.entry(index).or_default().push(reply);
+                    }
                 }
             }
-            // Due timers fire at the top of the next iteration.
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return,
         }
     }
 }
+
+/// Cap on proposals drained into one engine batch: bounds both the batch
+/// latency (nothing waits behind more than this many queued commands) and
+/// the size of the single `AppendEntries` window a batch produces.
+pub const PROPOSE_BATCH_MAX: usize = 256;
 
 /// How many apply results the node loop keeps for late [`NodeInput::AwaitApplied`]
 /// registrations.
@@ -335,6 +380,7 @@ mod tests {
             commit_index: LogIndex::ZERO,
             last_applied: LogIndex::ZERO,
             log_len: 0,
+            metrics: NodeMetrics::new(),
         };
         assert_eq!(a.clone(), a);
     }

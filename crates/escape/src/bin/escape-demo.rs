@@ -64,6 +64,60 @@ fn propose(node: &TcpNode, command: Bytes) -> Option<(LogIndex, Bytes)> {
     Some((index, result))
 }
 
+/// Prints the replication-pipeline counters a leader accumulated: how
+/// proposals batched up and how long propose→commit took.
+fn print_replication_metrics(status: &NodeStatus) {
+    use escape::core::metrics::{BATCH_SIZE_BOUNDS, COMMIT_LATENCY_BOUNDS_MICROS};
+    let m = &status.metrics;
+    if m.propose_batches == 0 {
+        return;
+    }
+    let mean = m.mean_batch_size().unwrap_or(0.0);
+    println!(
+        "replication: {} commands in {} batches (mean {:.1}/batch)",
+        m.commands_proposed, m.propose_batches, mean
+    );
+    let batch_labels: Vec<String> = BATCH_SIZE_BOUNDS
+        .iter()
+        .map(|b| format!("≤{b}"))
+        .chain(std::iter::once(format!(">{}", BATCH_SIZE_BOUNDS[BATCH_SIZE_BOUNDS.len() - 1])))
+        .collect();
+    let batches: Vec<String> = batch_labels
+        .iter()
+        .zip(m.batch_size_histogram.iter())
+        .filter(|(_, n)| **n > 0)
+        .map(|(l, n)| format!("{l}:{n}"))
+        .collect();
+    println!("  batch sizes   {}", batches.join("  "));
+    if let Some(mean) = m.mean_commit_latency() {
+        let lat_labels: Vec<String> = COMMIT_LATENCY_BOUNDS_MICROS
+            .iter()
+            .map(|b| {
+                if *b >= 1000 {
+                    format!("≤{}ms", b / 1000)
+                } else {
+                    format!("≤{b}µs")
+                }
+            })
+            .chain(std::iter::once(format!(
+                ">{}ms",
+                COMMIT_LATENCY_BOUNDS_MICROS[COMMIT_LATENCY_BOUNDS_MICROS.len() - 1] / 1000
+            )))
+            .collect();
+        let lats: Vec<String> = lat_labels
+            .iter()
+            .zip(m.commit_latency_histogram.iter())
+            .filter(|(_, n)| **n > 0)
+            .map(|(l, n)| format!("{l}:{n}"))
+            .collect();
+        println!(
+            "  commit latency mean {:.2} ms   {}",
+            mean.as_millis_f64(),
+            lats.join("  ")
+        );
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args
@@ -111,7 +165,8 @@ fn main() {
     let leader_id = nodes[leader].id();
     println!("\nleader elected: {leader_id}");
 
-    // A small write workload through the leader.
+    // A small write workload through the leader: one-at-a-time first,
+    // then the same volume as a single batched burst.
     let t0 = Instant::now();
     for i in 0..20 {
         let cmd = KvCommand::Put {
@@ -121,9 +176,39 @@ fn main() {
         propose(&nodes[leader], cmd.encode()).expect("write committed");
     }
     println!(
-        "20 writes committed over TCP in {:.0} ms",
+        "20 writes committed over TCP in {:.0} ms (one at a time)",
         t0.elapsed().as_secs_f64() * 1000.0
     );
+
+    let t0 = Instant::now();
+    let batch: Vec<Bytes> = (20..40)
+        .map(|i| {
+            KvCommand::Put {
+                key: format!("account-{}", i % 4),
+                value: Bytes::from(format!("balance={i}")),
+            }
+            .encode()
+        })
+        .collect();
+    let indexes: Vec<LogIndex> = nodes[leader]
+        .propose_batch(batch, Duration::from_secs(5))
+        .into_iter()
+        .map(|o| o.expect("batched write accepted"))
+        .collect();
+    let last = *indexes.last().expect("non-empty batch");
+    let (atx, arx) = bounded(1);
+    nodes[leader]
+        .inbox()
+        .send(NodeInput::AwaitApplied { index: last, reply: atx })
+        .unwrap();
+    arx.recv_timeout(Duration::from_secs(5)).expect("batch applied");
+    println!(
+        "20 writes committed over TCP in {:.0} ms (one pipelined batch)",
+        t0.elapsed().as_secs_f64() * 1000.0
+    );
+    if let Some(status) = status_of(&nodes[leader]) {
+        print_replication_metrics(&status);
+    }
 
     // Linearizable read.
     let (_, raw) = propose(
@@ -255,25 +340,48 @@ fn sharded_demo(n: usize, protocol: String, spec: ProtocolSpec, shards: usize) {
         leaders.insert(*group, leader);
     }
 
-    // A routed write workload: the server hashes each key to its shard.
+    // A routed write workload, per-shard batched: keys are grouped by
+    // the server leading their owning shard, and each server gets its
+    // share as one `propose_batch` call (one coalesced replication round
+    // per shard instead of one commit cycle per key).
     let t0 = Instant::now();
     let mut per_group = vec![0usize; shards];
+    let mut per_server: HashMap<usize, Vec<(Bytes, Bytes)>> = HashMap::new();
     for i in 0..40 {
         let cmd = KvCommand::Put {
             key: format!("account-{i}"),
             value: Bytes::from(format!("balance={i}")),
         };
-        // Any server routes; the owning group's leader on *that* server
-        // must accept, so write through the group's leader server.
         let owner = nodes[0].as_ref().unwrap().route(cmd.key().as_bytes());
-        let leader = nodes[leaders[&owner]].as_ref().unwrap();
-        let group = shard_put(leader, &cmd).expect("routed write commits");
-        per_group[group.index()] += 1;
+        per_server
+            .entry(leaders[&owner])
+            .or_default()
+            .push((Bytes::from(cmd.key().to_string()), cmd.encode()));
+    }
+    for (server, items) in per_server {
+        let node = nodes[server].as_ref().unwrap();
+        let mut last_per_group: HashMap<GroupId, escape::core::types::LogIndex> = HashMap::new();
+        for outcome in node.propose_batch(items) {
+            let (group, index) = outcome.expect("routed batched write commits");
+            per_group[group.index()] += 1;
+            last_per_group.insert(group, index);
+        }
+        for (group, index) in last_per_group {
+            node.await_applied(group, index).expect("batch applied");
+        }
     }
     println!(
         "40 writes committed across {shards} shards in {:.0} ms (distribution {per_group:?})",
         t0.elapsed().as_secs_f64() * 1000.0
     );
+    for group in &groups {
+        if let Some(status) = nodes[leaders[group]].as_ref().unwrap().status(*group) {
+            if status.metrics.propose_batches > 0 {
+                print!("  {group} ");
+                print_replication_metrics(&status);
+            }
+        }
+    }
 
     // A deliberately misrouted command comes back with a redirect.
     let any = nodes[0].as_ref().unwrap();
