@@ -89,6 +89,7 @@ fn bench_message_handling(c: &mut Criterion) {
             entries: Vec::new(),
             leader_commit: LogIndex::ZERO,
             new_config: None,
+            seq: 0,
         });
         let mut now = Time::ZERO;
         b.iter(|| {
@@ -115,6 +116,7 @@ fn bench_wire_codec(c: &mut Criterion) {
             .collect(),
         leader_commit: LogIndex::new(999),
         new_config: None,
+        seq: 0,
     });
     let encoded = msg.to_bytes();
     group.throughput(Throughput::Bytes(encoded.len() as u64));

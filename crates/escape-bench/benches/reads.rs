@@ -1,0 +1,171 @@
+//! Linearizable-read benchmarks: the same 256 queries per iteration
+//! served three ways, at batch sizes 1 / 16 / 256 —
+//!
+//! * `log_read`  — through the log: each query proposed as a command and
+//!   carried to commit by the replication pipeline (WAL fsync on), the
+//!   pre-ReadIndex way this repo answered `Get`s.
+//! * `readindex` — off the log via [`Node::read_batch`] with leases
+//!   disabled: every batch runs a leadership-confirmation round before
+//!   release.
+//! * `lease`     — off the log under a held leader lease: zero
+//!   confirmation rounds, pure queue-and-query bookkeeping.
+//!
+//! All three run on a single-node self-elected leader over a real
+//! `WalStorage`, so the medians isolate exactly what the read path
+//! removes: the WAL append + fdatasync and commit/apply machinery.
+//! `bench_check`'s `reads` suite gates `lease/b256 ÷ log_read/b256 ≤
+//! 0.1` — leased reads must stay ≥10× the through-the-log throughput.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bytes::Bytes;
+use escape_core::engine::{Action, Node, Options, TimerKind};
+use escape_core::policy::RaftPolicy;
+use escape_core::time::{Duration, Time};
+use escape_core::types::ServerId;
+use escape_storage::{WalOptions, WalStorage};
+
+/// Queries pushed per benchmark iteration, whatever the batch size.
+const QUERIES_PER_ITER: usize = 256;
+
+fn scratch_dir(label: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "escape-reads-bench-{}-{label}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A single-node leader (instant self-election) writing through a real
+/// fsyncing `WalStorage` in `dir`, with one committed+applied entry so
+/// the safe read index is immediately serveable.
+fn wal_leader(dir: &PathBuf, options: Options) -> Node {
+    let (storage, recovered) =
+        WalStorage::open_with(dir, WalOptions::default()).expect("open storage");
+    let ids = vec![ServerId::new(1)];
+    let mut node = Node::builder(ids[0], ids.clone())
+        .policy(Box::new(RaftPolicy::randomized(
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            1,
+        )))
+        .options(options)
+        .storage(Box::new(storage))
+        .recover(recovered)
+        .build();
+    let actions = node.start(Time::ZERO);
+    let (token, deadline) = actions
+        .iter()
+        .find_map(|a| match a {
+            Action::SetTimer { token, deadline } if token.kind == TimerKind::Election => {
+                Some((*token, *deadline))
+            }
+            _ => None,
+        })
+        .expect("election timer armed");
+    node.handle_timer(token, deadline);
+    assert!(node.is_leader(), "single node must self-elect");
+    // Commit + apply one warm-up entry so `last_applied` covers the
+    // term-start no-op and every read releases inside its own call.
+    let now = Time::from_millis(900);
+    node.propose(Bytes::from_static(b"warm-up"), now)
+        .expect("leader accepts");
+    assert!(
+        node.last_applied() >= node.commit_index().min(node.log().last_index()),
+        "single-node commit must apply inline"
+    );
+    node
+}
+
+fn released(actions: &[Action]) -> bool {
+    actions
+        .iter()
+        .any(|a| matches!(a, Action::ReadReady { .. }))
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reads");
+    group.sample_size(10);
+    let query = Bytes::from_static(b"reads-bench-query");
+    let now = Time::from_millis(1000);
+    let mut dirs: Vec<PathBuf> = Vec::new();
+
+    // Through the log: the query proposed as a command, WAL fsync and
+    // all — what serving a `Get` cost before the read path existed.
+    for batch in [1usize, 16, QUERIES_PER_ITER] {
+        let dir = scratch_dir(&format!("log_read-{batch}"));
+        let mut node = wal_leader(&dir, Options::default());
+        dirs.push(dir);
+        group.throughput(Throughput::Elements(QUERIES_PER_ITER as u64));
+        group.bench_with_input(
+            BenchmarkId::new("log_read", format!("b{batch}")),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    for _ in 0..QUERIES_PER_ITER / batch {
+                        let commands: Vec<Bytes> =
+                            (0..batch).map(|_| query.clone()).collect();
+                        let (indexes, _actions) =
+                            node.propose_batch(commands, now).expect("leader accepts");
+                        std::hint::black_box(indexes.len());
+                    }
+                });
+            },
+        );
+    }
+
+    // Off the log: leases disabled (`readindex` — a confirmation round
+    // per batch) and enabled (`lease` — the round is skipped entirely;
+    // the fixed `now` keeps the once-confirmed lease held throughout).
+    for (mode, lease) in [
+        ("readindex", None),
+        ("lease", Some(Duration::from_millis(100))),
+    ] {
+        for batch in [1usize, 16, QUERIES_PER_ITER] {
+            let dir = scratch_dir(&format!("{mode}-{batch}"));
+            let options = Options {
+                lease_duration: lease,
+                ..Options::default()
+            };
+            let mut node = wal_leader(&dir, options);
+            dirs.push(dir);
+            // Warm up: the first batch confirms instantly (no peers) and
+            // must release inline — and, in lease mode, start the lease.
+            let (_, actions) = node.read_batch(vec![query.clone()], now).expect("leader");
+            assert!(released(&actions), "single-node read must release inline");
+            if lease.is_some() {
+                assert!(node.lease_valid(now), "confirmed round must arm the lease");
+            }
+            group.throughput(Throughput::Elements(QUERIES_PER_ITER as u64));
+            group.bench_with_input(
+                BenchmarkId::new(mode, format!("b{batch}")),
+                &batch,
+                |b, &batch| {
+                    b.iter(|| {
+                        for _ in 0..QUERIES_PER_ITER / batch {
+                            let queries: Vec<Bytes> =
+                                (0..batch).map(|_| query.clone()).collect();
+                            let (_, actions) =
+                                node.read_batch(queries, now).expect("leader accepts");
+                            std::hint::black_box(released(&actions));
+                        }
+                    });
+                },
+            );
+        }
+    }
+
+    group.finish();
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+criterion_group!(benches, bench_reads);
+criterion_main!(benches);

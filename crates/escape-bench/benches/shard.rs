@@ -48,6 +48,7 @@ fn bench_envelope_mux(c: &mut Criterion) {
         entries: Vec::new(),
         leader_commit: LogIndex::new(100),
         new_config: None,
+        seq: 0,
     });
     let envelope = Envelope {
         from: ServerId::new(1),

@@ -31,6 +31,10 @@
 //!   speedup, inverted. Limit 0.1 — batching must stay ≥10× faster than
 //!   the per-entry path with fsync on; baseline drift 2× (a >2×
 //!   regression of batched throughput relative to per-entry fails).
+//! * **reads** — `reads/lease/b256` vs `reads/log_read/b256`: both time
+//!   the same 256 queries, served under a held leader lease vs proposed
+//!   through the fsyncing log. Limit 0.1 — leased reads must stay ≥10×
+//!   the through-the-log throughput; baseline drift 2×.
 //!
 //! Absolute medians are compared against the baseline too, but only
 //! warn: wall-clock medians vary across CI machines, so absolute 2×
@@ -69,6 +73,13 @@ const SUITES: &[Suite] = &[
         name: "replication",
         ratio_numerator: "replication/propose_fsync/b256",
         ratio_denominator: "replication/propose_fsync/b1",
+        ratio_limit: 0.1,
+        baseline_factor: 2.0,
+    },
+    Suite {
+        name: "reads",
+        ratio_numerator: "reads/lease/b256",
+        ratio_denominator: "reads/log_read/b256",
         ratio_limit: 0.1,
         baseline_factor: 2.0,
     },

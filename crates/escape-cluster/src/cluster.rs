@@ -540,7 +540,9 @@ impl SimCluster {
                     self.checker
                         .observe_commit(&self.nodes[id.index()], index);
                 }
-                Action::Applied { .. } => {}
+                Action::Applied { .. }
+                | Action::ReadReady { .. }
+                | Action::ReadFailed { .. } => {}
             }
         }
         for (_, fanout) in broadcast {

@@ -116,7 +116,17 @@ impl Node {
             });
             // ESCAPE's addition: candidate's confClock must not be stale.
             let policy_ok = self.policy.candidate_admissible(&args);
-            vote_free && log_ok && policy_ok
+            // Lease vote fence (only when leases are in force): refuse to
+            // elect anyone until every lease the last-heard leader could
+            // hold has provably expired — lease × 5/4 of silence, the
+            // margin covering clock-rate drift. Quorum intersection turns
+            // this local rule into the global handoff-safety guarantee
+            // (see README, "Linearizable reads").
+            let fence_ok = !self.vote_fenced(now);
+            if !fence_ok {
+                self.metrics.votes_lease_fenced += 1;
+            }
+            vote_free && log_ok && policy_ok && fence_ok
         };
 
         if granted {
@@ -173,6 +183,12 @@ impl Node {
             self.inflight.insert(*peer, 0);
         }
         self.propose_times.clear();
+        // A fresh leadership starts with no lease and no acked rounds: a
+        // PPF promotee must earn its own quorum acks before lease-serving
+        // reads, and `next` (the no-op below) is the first safe read
+        // index (Raft §8 — older commits may sit above our commit index).
+        self.reset_read_state();
+        self.term_start_index = next;
 
         self.policy.became_leader(&self.peers);
         // The policy retired/restamped its own configuration on winning.

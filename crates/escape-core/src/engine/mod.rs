@@ -139,6 +139,23 @@ pub enum Action {
         /// The state machine's response payload.
         result: Bytes,
     },
+    /// A linearizable read batch is ready: leadership was confirmed at its
+    /// `read_index` and the state machine caught up to it.
+    ReadReady {
+        /// Batch id returned by [`Node::read_batch`].
+        batch: u64,
+        /// One response per query, in submission order.
+        results: Vec<Bytes>,
+    },
+    /// A queued read batch can no longer be answered safely: leadership
+    /// was lost (term changed) before the batch confirmed. The queries
+    /// are never answered; clients should redirect and retry.
+    ReadFailed {
+        /// Batch id returned by [`Node::read_batch`].
+        batch: u64,
+        /// Why — always a redirect today.
+        error: ProposeError,
+    },
 }
 
 /// Why a proposal was refused.
@@ -191,6 +208,17 @@ pub struct Options {
     /// above the snapshot horizon (`None` disables compaction). Requires a
     /// state machine whose `snapshot()` returns `Some`.
     pub snapshot_threshold: Option<u64>,
+    /// Clock-bounded leader lease for local linearizable reads (`None`
+    /// disables leasing; ReadIndex quorum rounds are still available).
+    /// While the lease holds, [`Node::read_batch`] serves without any
+    /// network round. Enabling a lease also arms the *vote fence*: voters
+    /// refuse to elect a new leader within `lease_duration × 5/4` of last
+    /// hearing from the current one, so a deposed leader's lease provably
+    /// expires before its successor exists (≤ 25 % clock-rate drift
+    /// tolerated). Choose it well below the minimum election timeout —
+    /// the fence must not delay legitimate failovers; policies may cap it
+    /// further via [`ElectionPolicy::lease_bound`].
+    pub lease_duration: Option<Duration>,
 }
 
 impl Default for Options {
@@ -202,6 +230,7 @@ impl Default for Options {
             leader_noop: true,
             vote_retry_interval: Some(Duration::from_millis(500)),
             snapshot_threshold: None,
+            lease_duration: None,
         }
     }
 }
@@ -331,6 +360,13 @@ impl NodeBuilder {
             match_index: BTreeMap::new(),
             inflight: BTreeMap::new(),
             propose_times: VecDeque::new(),
+            pending_reads: VecDeque::new(),
+            read_batch_seq: 0,
+            acked_rounds: BTreeMap::new(),
+            round_starts: VecDeque::new(),
+            lease_until: Time::ZERO,
+            term_start_index: LogIndex::ZERO,
+            last_leader_contact: None,
             election_epoch: 0,
             heartbeat_epoch: 0,
             vote_retry_epoch: 0,
@@ -348,6 +384,29 @@ pub(super) struct SnapshotHandle {
     pub(super) term: Term,
     pub(super) data: Bytes,
 }
+
+/// A queued linearizable read batch awaiting leadership confirmation and
+/// `applied >= read_index`.
+#[derive(Clone, Debug)]
+struct PendingReads {
+    /// Handle returned by [`Node::read_batch`], echoed in the release.
+    batch: u64,
+    /// Opaque queries for [`StateMachine::query`].
+    queries: Vec<Bytes>,
+    /// The batch releases once `last_applied` reaches this index.
+    read_index: LogIndex,
+    /// The leadership term the batch was accepted under; a term change
+    /// fails the batch instead of answering it.
+    term: Term,
+    /// Broadcast round whose quorum ack confirms leadership; `0` when the
+    /// batch was accepted under a held lease (pre-confirmed).
+    round: u64,
+}
+
+/// Cap on remembered-but-unconfirmed round issue times. Only reachable
+/// when quorum acks stop entirely (a partitioned leader); dropping the
+/// oldest merely forgoes a lease extension, which is the safe direction.
+const ROUND_STARTS_MAX: usize = 1024;
 
 /// A single consensus server: Raft's replicated state machine plus the
 /// election behaviour of whatever [`ElectionPolicy`] it was built with.
@@ -391,6 +450,33 @@ pub struct Node {
     /// role change (a deposed leader's entries may commit under a
     /// successor; their latency is no longer ours to report).
     propose_times: VecDeque<(LogIndex, Time)>,
+
+    // ---- linearizable reads (leader volatile state) ----
+    /// Read batches awaiting confirmation + apply, in acceptance order
+    /// (rounds and read indexes are both monotone, so FIFO release is
+    /// exact).
+    pending_reads: VecDeque<PendingReads>,
+    /// Batch-id counter for [`Node::read_batch`].
+    read_batch_seq: u64,
+    /// Highest `AppendEntries` round each peer has echoed back under this
+    /// leadership (the `seq` field): by replying at all, a follower
+    /// acknowledges our term as of that round.
+    acked_rounds: BTreeMap<ServerId, u64>,
+    /// Issue times of broadcast rounds not yet quorum-confirmed, oldest
+    /// first; confirmation converts them into lease extensions.
+    round_starts: VecDeque<(u64, Time)>,
+    /// While `now < lease_until` the leader serves reads with no network
+    /// round. Starts at zero on every leadership assumption and grows
+    /// only from rounds *this* leadership quorum-acked — a fresh PPF
+    /// promotee cannot inherit a lease.
+    lease_until: Time,
+    /// First index of this leadership term (the no-op's index). Reads wait
+    /// until it commits: before that, `commit_index` may trail entries the
+    /// predecessor committed (Raft §8), so it is not a safe read index.
+    term_start_index: LogIndex,
+    /// Last time a leader was heard (`AppendEntries` / `InstallSnapshot`),
+    /// across terms. The lease vote fence measures silence from here.
+    last_leader_contact: Option<Time>,
 
     // ---- snapshotting ----
     latest_snapshot: Option<SnapshotHandle>,
@@ -534,6 +620,9 @@ impl Node {
         self.match_index.clear();
         self.inflight.clear();
         self.propose_times.clear();
+        self.pending_reads.clear(); // waiters died with the old process
+        self.reset_read_state();
+        self.last_leader_contact = None;
         self.commit_index = self.last_applied;
         self.policy.stepped_down();
         // Invalidate any pre-crash timers.
@@ -649,6 +738,218 @@ impl Node {
         Ok((indexes, out))
     }
 
+    /// Accepts a batch of linearizable queries that never touch the log.
+    ///
+    /// The batch records the current safe read index and is released as
+    /// one [`Action::ReadReady`] (answers via [`StateMachine::query`])
+    /// once two conditions hold: leadership is confirmed for the batch,
+    /// and `last_applied` has reached the read index. Confirmation comes
+    /// either from a held lease ([`Options::lease_duration`] — zero
+    /// network rounds) or from one piggybacked heartbeat round whose
+    /// quorum of echoed `seq` acks proves no higher term existed when the
+    /// batch was accepted. If leadership is lost first, the batch fails
+    /// as [`Action::ReadFailed`] and is never answered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProposeError::NotLeader`] (with a leader hint when
+    /// known) if this node does not currently lead.
+    pub fn read_batch(
+        &mut self,
+        queries: Vec<Bytes>,
+        now: Time,
+    ) -> Result<(u64, Vec<Action>), ProposeError> {
+        if self.role != Role::Leader {
+            return Err(ProposeError::NotLeader {
+                hint: self.leader_hint,
+            });
+        }
+        self.read_batch_seq += 1;
+        let batch = self.read_batch_seq;
+        if queries.is_empty() {
+            return Ok((
+                batch,
+                vec![Action::ReadReady {
+                    batch,
+                    results: Vec::new(),
+                }],
+            ));
+        }
+        self.metrics.read_batches += 1;
+        let mut out = Vec::new();
+        let round = if self.lease_valid(now) {
+            self.metrics.lease_reads += queries.len() as u64;
+            0 // pre-confirmed: the lease vouches for our leadership
+        } else {
+            self.metrics.quorum_reads += queries.len() as u64;
+            self.confirm_round(now, &mut out)
+        };
+        // Not a safe read index until our own no-op commits: see
+        // `term_start_index`.
+        let read_index = self.commit_index.max(self.term_start_index);
+        self.pending_reads.push_back(PendingReads {
+            batch,
+            queries,
+            read_index,
+            term: self.current_term,
+            round,
+        });
+        self.release_ready_reads(&mut out);
+        self.sync_storage();
+        Ok((batch, out))
+    }
+
+    // ---- linearizable-read internals ----
+
+    /// The lease length in force: the configured duration capped by the
+    /// policy's bound (`None` when leasing is disabled).
+    pub(super) fn effective_lease(&self) -> Option<Duration> {
+        let lease = self.options.lease_duration?;
+        Some(match self.policy.lease_bound() {
+            Some(bound) => lease.min(bound),
+            None => lease,
+        })
+    }
+
+    /// `true` while this leader may serve reads on its lease alone.
+    pub fn lease_valid(&self, now: Time) -> bool {
+        self.effective_lease().is_some() && now < self.lease_until
+    }
+
+    /// The silence a voter must observe before granting a vote while
+    /// leases are in force: lease × 5/4, the 25 % margin covering clock-
+    /// rate drift between the leaseholder and the voter.
+    pub(super) fn lease_fence(lease: Duration) -> Duration {
+        Duration::from_micros(lease.as_micros().saturating_mul(5) / 4)
+    }
+
+    /// `true` while the lease vote fence forbids granting any vote:
+    /// leases are in force and a leader was heard too recently for every
+    /// lease it could hold to have expired.
+    pub(super) fn vote_fenced(&self, now: Time) -> bool {
+        let Some(lease) = self.effective_lease() else {
+            return false;
+        };
+        self.last_leader_contact
+            .is_some_and(|contact| now < contact + Node::lease_fence(lease))
+    }
+
+    /// Peer acks (beyond self) needed for a read quorum.
+    fn read_quorum_needed(&self) -> usize {
+        quorum(self.cluster_size) - 1
+    }
+
+    /// The newest broadcast round a quorum has echoed back: the
+    /// `needed`-th largest per-peer ack (self implicitly acks everything,
+    /// so a single-node cluster confirms every round instantly).
+    fn confirmed_round(&self) -> u64 {
+        let needed = self.read_quorum_needed();
+        if needed == 0 {
+            return self.broadcast_seq;
+        }
+        if self.acked_rounds.len() < needed {
+            return 0;
+        }
+        let mut acks: Vec<u64> = self.acked_rounds.values().copied().collect();
+        acks.sort_unstable_by(|a, b| b.cmp(a));
+        acks[needed - 1]
+    }
+
+    /// Records a broadcast round's issue time (for lease extension on its
+    /// quorum ack) and advances whatever that makes ready.
+    pub(super) fn note_round(&mut self, round: u64, now: Time, out: &mut Vec<Action>) {
+        if self.effective_lease().is_some() {
+            if self.round_starts.len() >= ROUND_STARTS_MAX {
+                self.round_starts.pop_front();
+            }
+            self.round_starts.push_back((round, now));
+        }
+        self.advance_read_state(out);
+    }
+
+    /// Re-derives the confirmed round, folds newly confirmed rounds into
+    /// the lease, and releases every read batch that became ready. Called
+    /// whenever acks or rounds move.
+    pub(super) fn advance_read_state(&mut self, out: &mut Vec<Action>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let confirmed = self.confirmed_round();
+        if let Some(lease) = self.effective_lease() {
+            while self
+                .round_starts
+                .front()
+                .is_some_and(|(round, _)| *round <= confirmed)
+            {
+                let (_, start) = self.round_starts.pop_front().expect("front checked");
+                let until = start + lease;
+                if until > self.lease_until {
+                    self.lease_until = until;
+                }
+            }
+        }
+        self.release_ready_reads(out);
+    }
+
+    /// Releases ready read batches in FIFO order: leadership confirmed
+    /// (round quorum-acked, or lease-accepted) and applied caught up.
+    pub(super) fn release_ready_reads(&mut self, out: &mut Vec<Action>) {
+        let confirmed = self.confirmed_round();
+        while let Some(front) = self.pending_reads.front() {
+            // Belt and braces: a batch from another term must never be
+            // answered, whatever else happened (step-down already fails
+            // the queue; this guards re-election into a new term).
+            if self.role != Role::Leader || front.term != self.current_term {
+                let stale = self.pending_reads.pop_front().expect("front checked");
+                self.metrics.reads_failed += stale.queries.len() as u64;
+                out.push(Action::ReadFailed {
+                    batch: stale.batch,
+                    error: ProposeError::NotLeader {
+                        hint: self.leader_hint,
+                    },
+                });
+                continue;
+            }
+            if (front.round > confirmed && front.round != 0)
+                || front.read_index > self.last_applied
+            {
+                return; // FIFO: later batches can only be later-ready
+            }
+            let ready = self.pending_reads.pop_front().expect("front checked");
+            let results: Vec<Bytes> = ready
+                .queries
+                .iter()
+                .map(|q| self.state_machine.query(q))
+                .collect();
+            self.metrics.reads_served += results.len() as u64;
+            out.push(Action::ReadReady {
+                batch: ready.batch,
+                results,
+            });
+        }
+    }
+
+    /// Fails every queued read batch (leadership lost before release).
+    fn fail_pending_reads(&mut self, out: &mut Vec<Action>) {
+        while let Some(stale) = self.pending_reads.pop_front() {
+            self.metrics.reads_failed += stale.queries.len() as u64;
+            out.push(Action::ReadFailed {
+                batch: stale.batch,
+                error: ProposeError::NotLeader {
+                    hint: self.leader_hint,
+                },
+            });
+        }
+    }
+
+    /// Resets all per-leadership read state (on gaining *or* losing the
+    /// leadership — a lease never crosses either boundary).
+    pub(super) fn reset_read_state(&mut self) {
+        self.acked_rounds.clear();
+        self.round_starts.clear();
+        self.lease_until = Time::ZERO;
+    }
+
     // ---- shared internals ----
 
     /// Eq. 3: adopt a higher observed term and fall back to follower.
@@ -672,6 +973,10 @@ impl Node {
         self.match_index.clear();
         self.inflight.clear();
         self.propose_times.clear();
+        // Queued reads were accepted under a leadership that just ended:
+        // redirect them, never answer them.
+        self.fail_pending_reads(out);
+        self.reset_read_state();
         self.policy.stepped_down();
         self.metrics.step_downs += 1;
         if was == Role::Leader {

@@ -31,7 +31,7 @@ impl Node {
     /// a follower with nothing to ship (or a full pipeline) still gets an
     /// empty `AppendEntries` so the failure detector and the PPF
     /// configuration piggyback never miss a beat.
-    pub(super) fn heartbeat_round(&mut self, _now: Time, out: &mut Vec<Action>) {
+    pub(super) fn heartbeat_round(&mut self, now: Time, out: &mut Vec<Action>) {
         if self.policy.begin_heartbeat_round() {
             self.metrics.rearrangements_issued += 1;
             // A rearrangement restamped the leader's own configuration
@@ -39,6 +39,7 @@ impl Node {
             self.persist_current_config();
         }
         let broadcast = self.next_broadcast_id();
+        self.note_round(broadcast, now, out);
         // Index loop: `send` needs `&mut self`, and cloning the peer list
         // on every heartbeat was a measurable per-round allocation.
         for i in 0..self.peers.len() {
@@ -51,16 +52,31 @@ impl Node {
         }
     }
 
+    /// One dedicated leadership-confirmation round for queued reads: an
+    /// empty `AppendEntries` per follower stamped with a fresh `seq`, no
+    /// PPF rearrangement (reads must not accelerate the patrol clock).
+    /// Returns the round id whose quorum ack confirms the batch.
+    pub(super) fn confirm_round(&mut self, now: Time, out: &mut Vec<Action>) -> u64 {
+        let broadcast = self.next_broadcast_id();
+        self.note_round(broadcast, now, out);
+        for i in 0..self.peers.len() {
+            let peer = self.peers[i];
+            self.send_heartbeat(peer, Some(broadcast), out);
+        }
+        broadcast
+    }
+
     /// Drains every follower whose pipeline has both backlog and credit —
     /// the flush half of the dirty-peer model: [`Node::propose_batch`]
     /// appends (marking peers implicitly dirty by moving the log tail
     /// past their `next_index`), this fans out. Naturally a no-op for
     /// peers that are caught up or out of credit.
-    pub(super) fn flush_replication(&mut self, _now: Time, out: &mut Vec<Action>) {
+    pub(super) fn flush_replication(&mut self, now: Time, out: &mut Vec<Action>) {
         if self.role != Role::Leader {
             return;
         }
         let broadcast = self.next_broadcast_id();
+        self.note_round(broadcast, now, out);
         for i in 0..self.peers.len() {
             let peer = self.peers[i];
             self.pump_peer(peer, Some(broadcast), out);
@@ -112,6 +128,7 @@ impl Node {
                         entries,
                         leader_commit: self.commit_index,
                         new_config: self.policy.config_for(peer),
+                        seq: self.broadcast_seq,
                     };
                     self.send(peer, Message::AppendEntries(args), broadcast, out);
                     self.next_index.insert(peer, sent_through.next());
@@ -176,6 +193,7 @@ impl Node {
             entries: Vec::new(),
             leader_commit: self.commit_index,
             new_config: self.policy.config_for(peer),
+            seq: self.broadcast_seq,
         };
         self.send(peer, Message::AppendEntries(args), broadcast, out);
     }
@@ -200,6 +218,7 @@ impl Node {
             self.step_down(now, out);
         }
         self.leader_hint = Some(args.leader_id);
+        self.last_leader_contact = Some(now);
 
         // Only adopt snapshots that move us forward; retransmissions of
         // older ones just re-ack.
@@ -307,10 +326,14 @@ impl Node {
                 success: false,
                 match_hint: self.log.last_index(),
                 status: None,
+                seq: 0, // a refusal acknowledges no round
             };
             self.send(from, Message::AppendEntriesReply(reply), None, out);
             return;
         }
+
+        // Leader contact: the lease vote fence measures silence from here.
+        self.last_leader_contact = Some(now);
 
         // A current-term AppendEntries is proof of a legitimate leader: a
         // candidate in the same term concedes (Fig. 1's candidate →
@@ -374,6 +397,9 @@ impl Node {
             success,
             match_hint,
             status: self.policy.report_status(self.log.last_index()),
+            // Echoed whatever the match outcome: even a log-mismatch
+            // reply proves we recognize this leader's term this round.
+            seq: args.seq,
         };
         self.send(from, Message::AppendEntriesReply(reply), None, out);
     }
@@ -397,6 +423,16 @@ impl Node {
         // PPF input: record the follower's log responsiveness.
         if let Some(status) = reply.status {
             self.policy.follower_status(from, status);
+        }
+
+        // ReadIndex input: any reply under our term acknowledges the
+        // round it echoes, success or not.
+        if reply.seq > 0 {
+            let acked = self.acked_rounds.entry(from).or_insert(0);
+            if reply.seq > *acked {
+                *acked = reply.seq;
+                self.advance_read_state(out);
+            }
         }
 
         if reply.success {
@@ -510,5 +546,7 @@ impl Node {
             }
         }
         self.maybe_compact();
+        // Confirmed read batches may have been waiting on exactly this.
+        self.release_ready_reads(out);
     }
 }

@@ -634,6 +634,7 @@ fn deposed_leader_rejects_then_steps_down_cleanly() {
         entries: Vec::new(),
         leader_commit: LogIndex::ZERO,
         new_config: None,
+        seq: 0,
     });
     let replies = pump
         .node_mut(3)
@@ -737,6 +738,7 @@ fn commit_is_capped_by_confirmed_prefix_not_stale_tail() {
         entries: Vec::new(),
         leader_commit: shared,
         new_config: None,
+        seq: 0,
     });
     pump.node_mut(3).handle_message(ServerId::new(1), hb, now);
     assert_eq!(pump.node(3).commit_index(), shared);
@@ -960,6 +962,7 @@ fn follower_appends_persist_only_real_changes() {
             entries,
             leader_commit: LogIndex::ZERO,
             new_config: None,
+            seq: 0,
         })
     };
 
@@ -1116,6 +1119,7 @@ fn replication_pipelines_up_to_the_inflight_cap() {
         success: true,
         match_hint: LogIndex::new(1),
         status: None,
+        seq: 0,
     });
     let actions = node.handle_message(peer, ack, now);
     let appends = appends_to(&actions, peer);
@@ -1130,6 +1134,7 @@ fn replication_pipelines_up_to_the_inflight_cap() {
         success: true,
         match_hint: LogIndex::new(3),
         status: None,
+        seq: 0,
     });
     let actions = node.handle_message(peer, ack, now);
     let appends = appends_to(&actions, peer);
@@ -1161,6 +1166,7 @@ fn rejection_backtracks_and_resends_the_backlog() {
         success: false,
         match_hint: LogIndex::ZERO,
         status: None,
+        seq: 0,
     });
     let actions = node.handle_message(peer, nack, now);
     let appends = appends_to(&actions, peer);
@@ -1224,5 +1230,393 @@ fn propose_batch_persists_all_entries_before_one_sync() {
         *seen,
         vec!["entries n=4 first=1".to_string(), "sync".to_string()],
         "one batched record run, then exactly one sync, before any action"
+    );
+}
+
+// ---- linearizable reads (ReadIndex + leases) ----
+
+fn lease_options() -> Options {
+    Options {
+        lease_duration: Some(Duration::from_millis(100)),
+        ..Options::default()
+    }
+}
+
+/// 3-node Raft cluster with the 100 ms lease enabled. The randomized
+/// policy's 150 ms floor puts the vote fence (125 ms) strictly under
+/// every election timeout.
+fn lease_cluster(n: u32) -> Pump {
+    let ids: Vec<ServerId> = (1..=n).map(ServerId::new).collect();
+    let nodes = ids
+        .iter()
+        .map(|id| {
+            Node::builder(*id, ids.clone())
+                .policy(Box::new(RaftPolicy::randomized(
+                    Duration::from_millis(150),
+                    Duration::from_millis(300),
+                    id.get() as u64,
+                )))
+                .options(lease_options())
+                .build()
+        })
+        .collect();
+    Pump::new(nodes)
+}
+
+fn escape_lease_cluster(n: u32) -> Pump {
+    let ids: Vec<ServerId> = (1..=n).map(ServerId::new).collect();
+    let params = EscapeParams::paper_defaults(n as usize);
+    let nodes = ids
+        .iter()
+        .map(|id| {
+            Node::builder(*id, ids.clone())
+                .policy(Box::new(EscapePolicy::new(*id, params)))
+                .options(lease_options())
+                .build()
+        })
+        .collect();
+    Pump::new(nodes)
+}
+
+/// `(batch, results)` of every `ReadReady` in `actions`.
+fn reads_ready(actions: &[Action]) -> Vec<(u64, Vec<Bytes>)> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::ReadReady { batch, results } => Some((*batch, results.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+fn reads_failed(actions: &[Action]) -> Vec<u64> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::ReadFailed { batch, .. } => Some(*batch),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn read_batch_refuses_followers_with_a_leader_hint() {
+    let mut pump = raft_cluster(3);
+    pump.fire(ServerId::new(1), TimerKind::Election);
+    let now = pump.now;
+    let err = pump
+        .node_mut(2)
+        .read_batch(vec![Bytes::from_static(b"q")], now)
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ProposeError::NotLeader {
+            hint: Some(ServerId::new(1))
+        }
+    );
+}
+
+#[test]
+fn empty_read_batch_resolves_instantly() {
+    let (mut node, _ids) = undelivered_leader(Options::default());
+    let (batch, actions) = node.read_batch(Vec::new(), Time::from_millis(1000)).unwrap();
+    assert_eq!(reads_ready(&actions), vec![(batch, Vec::new())]);
+}
+
+#[test]
+fn read_index_batch_waits_for_quorum_echo_and_apply() {
+    // Leader with an uncommitted no-op and two unreachable peers: a read
+    // batch must hold until (a) one peer echoes the confirm round's seq
+    // and (b) the no-op commits and applies up to the read index.
+    let (mut node, ids) = undelivered_leader(Options::default());
+    let now = Time::from_millis(1000);
+    let queries = vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")];
+    let (batch, actions) = node.read_batch(queries, now).unwrap();
+    assert!(reads_ready(&actions).is_empty(), "nothing confirmed yet");
+    let confirm = appends_to(&actions, ids[1]);
+    assert_eq!(confirm.len(), 1, "one confirm heartbeat per peer");
+    let seq = confirm[0].seq;
+    assert!(seq > 0, "confirm round must carry a live seq");
+    assert_eq!(node.metrics().quorum_reads, 2);
+
+    // A log-mismatch refusal still echoes the seq: the round confirms,
+    // but the read index (the no-op) is not yet applied — stay queued.
+    let refusal = Message::AppendEntriesReply(crate::message::AppendEntriesReply {
+        term: node.current_term(),
+        success: false,
+        match_hint: LogIndex::ZERO,
+        status: None,
+        seq,
+    });
+    let actions = node.handle_message(ids[1], refusal, now);
+    assert!(
+        reads_ready(&actions).is_empty(),
+        "confirmed round must not release a read past last_applied"
+    );
+
+    // The successful ack commits + applies the no-op and releases the batch.
+    let ack = Message::AppendEntriesReply(crate::message::AppendEntriesReply {
+        term: node.current_term(),
+        success: true,
+        match_hint: node.log().last_index(),
+        status: None,
+        seq,
+    });
+    let actions = node.handle_message(ids[1], ack, now);
+    let ready = reads_ready(&actions);
+    assert_eq!(ready.len(), 1);
+    assert_eq!(ready[0].0, batch);
+    assert_eq!(ready[0].1.len(), 2, "one result per query, in order");
+    assert_eq!(node.metrics().reads_served, 2);
+    assert_eq!(node.metrics().reads_failed, 0);
+}
+
+#[test]
+fn queued_reads_fail_on_term_change_instead_of_hanging() {
+    // Regression: a batch queued under term T must be failed — not left
+    // queued forever, not answered — when a higher term deposes the
+    // leader before its confirm round completes.
+    let (mut node, ids) = undelivered_leader(Options::default());
+    let now = Time::from_millis(1000);
+    let (batch, actions) = node
+        .read_batch(vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")], now)
+        .unwrap();
+    assert!(reads_ready(&actions).is_empty());
+    let seq = appends_to(&actions, ids[1])[0].seq;
+
+    let usurper = Message::AppendEntries(crate::message::AppendEntriesArgs {
+        term: Term::new(node.current_term().get() + 1),
+        leader_id: ids[1],
+        prev_log_index: LogIndex::ZERO,
+        prev_log_term: Term::ZERO,
+        entries: Vec::new(),
+        leader_commit: LogIndex::ZERO,
+        new_config: None,
+        seq: 0,
+    });
+    let actions = node.handle_message(ids[1], usurper, now);
+    assert_eq!(reads_failed(&actions), vec![batch], "batch must fail on step-down");
+    assert!(reads_ready(&actions).is_empty());
+    assert_eq!(node.metrics().reads_failed, 2);
+
+    // A late echo of the old confirm round must not resurrect anything.
+    let late = Message::AppendEntriesReply(crate::message::AppendEntriesReply {
+        term: node.current_term(),
+        success: true,
+        match_hint: node.log().last_index(),
+        status: None,
+        seq,
+    });
+    let actions = node.handle_message(ids[2], late, now);
+    assert!(reads_ready(&actions).is_empty());
+    assert_eq!(node.metrics().reads_served, 0);
+}
+
+#[test]
+fn single_node_leader_confirms_reads_instantly() {
+    let ids = vec![ServerId::new(1)];
+    let node = Node::builder(ids[0], ids.clone())
+        .policy(Box::new(RaftPolicy::randomized(
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            1,
+        )))
+        .build();
+    let mut pump = Pump::new(vec![node]);
+    pump.fire(ServerId::new(1), TimerKind::Election);
+    let now = pump.now;
+    let (_, actions) = pump.node_mut(1).propose(Bytes::from_static(b"x"), now).unwrap();
+    pump.absorb(ServerId::new(1), actions);
+    pump.settle();
+
+    // No peers: every round is quorum-acked by self alone, so the batch
+    // releases inside the read_batch call itself.
+    let now = pump.now;
+    let (batch, actions) = pump
+        .node_mut(1)
+        .read_batch(vec![Bytes::from_static(b"q")], now)
+        .unwrap();
+    let ready = reads_ready(&actions);
+    assert_eq!(ready.len(), 1);
+    assert_eq!(ready[0].0, batch);
+}
+
+#[test]
+fn lease_serves_reads_without_a_network_round() {
+    let mut pump = lease_cluster(3);
+    pump.fire(ServerId::new(1), TimerKind::Election);
+    pump.fire(ServerId::new(1), TimerKind::Heartbeat); // commit + apply the no-op
+    let now = pump.now;
+    assert!(pump.node(1).lease_valid(now), "confirmed round must start the lease");
+
+    let (batch, actions) = pump
+        .node_mut(1)
+        .read_batch(vec![Bytes::from_static(b"q")], now)
+        .unwrap();
+    assert!(
+        !actions.iter().any(|a| matches!(a, Action::Send { .. })),
+        "a leased read must cost zero network messages: {actions:?}"
+    );
+    let ready = reads_ready(&actions);
+    assert_eq!(ready.len(), 1);
+    assert_eq!(ready[0].0, batch);
+    let m = pump.node(1).metrics();
+    assert_eq!(m.lease_reads, 1);
+    assert_eq!(m.quorum_reads, 0);
+}
+
+#[test]
+fn expired_lease_falls_back_to_a_quorum_round() {
+    let mut pump = lease_cluster(3);
+    pump.fire(ServerId::new(1), TimerKind::Election);
+    pump.fire(ServerId::new(1), TimerKind::Heartbeat);
+
+    // 200 ms of silence outlives the 100 ms lease.
+    pump.now += Duration::from_millis(200);
+    let now = pump.now;
+    assert!(!pump.node(1).lease_valid(now));
+    let (_batch, actions) = pump
+        .node_mut(1)
+        .read_batch(vec![Bytes::from_static(b"q")], now)
+        .unwrap();
+    assert!(reads_ready(&actions).is_empty(), "lapsed lease cannot vouch");
+    assert!(
+        actions.iter().any(|a| matches!(a, Action::Send { .. })),
+        "must fall back to a ReadIndex confirm round"
+    );
+    assert_eq!(pump.node(1).metrics().quorum_reads, 1);
+
+    // The round's acks confirm, release the read, and re-arm the lease.
+    let served_before = pump.node(1).metrics().reads_served;
+    pump.absorb(ServerId::new(1), actions);
+    pump.settle();
+    assert_eq!(pump.node(1).metrics().reads_served, served_before + 1);
+    assert!(pump.node(1).lease_valid(pump.now), "quorum ack renews the lease");
+}
+
+#[test]
+fn vote_fence_refuses_premature_votes_but_not_expired_timers() {
+    let mut pump = lease_cluster(3);
+    pump.fire(ServerId::new(1), TimerKind::Election);
+    pump.fire(ServerId::new(1), TimerKind::Heartbeat);
+    let contact = pump.now; // S2 heard the leader at this instant
+
+    let last = pump.node(3).log().last_position();
+    let term = Term::new(pump.node(1).current_term().get() + 1);
+    let solicit = || {
+        Message::RequestVote(crate::message::RequestVoteArgs {
+            term,
+            candidate_id: ServerId::new(3),
+            last_log_index: last.index,
+            last_log_term: last.term,
+            conf_clock: None,
+        })
+    };
+    let granted = |actions: &[Action]| {
+        actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send {
+                    msg: Message::RequestVoteReply(r),
+                    ..
+                } => Some(r.vote_granted),
+                _ => None,
+            })
+            .expect("a vote solicitation always gets a reply")
+    };
+
+    // 100 ms after last contact: inside the 125 ms fence (lease × 5/4) —
+    // some lease the leader holds may still be live. Refuse.
+    let early = contact + Duration::from_millis(100);
+    let actions = pump.node_mut(2).handle_message(ServerId::new(3), solicit(), early);
+    assert!(!granted(&actions), "fenced voter must refuse");
+    assert_eq!(pump.node(2).metrics().votes_lease_fenced, 1);
+
+    // 130 ms after last contact: every possible lease has expired — the
+    // same solicitation now succeeds (the refusal burned no vote).
+    let late = contact + Duration::from_millis(130);
+    let actions = pump.node_mut(2).handle_message(ServerId::new(3), solicit(), late);
+    assert!(granted(&actions), "fence must lift once lease × 5/4 elapsed");
+}
+
+#[test]
+fn ppf_handoff_never_lets_the_deposed_leader_answer_a_read() {
+    // ESCAPE's precautionary handoff with leases in force: the leader
+    // dies mid-lease, the prepared leader is promoted by its (fence-
+    // respecting) timeout, and the deposed leader must never again get a
+    // read answered — not by lease, not by quorum.
+    let mut pump = escape_lease_cluster(5);
+    pump.fire(ServerId::new(5), TimerKind::Election); // boot-best wins
+    for _ in 0..3 {
+        pump.fire(ServerId::new(5), TimerKind::Heartbeat); // PPF assigns ranks
+    }
+    let t_confirm = pump.now;
+    assert!(pump.node(5).lease_valid(t_confirm), "leader holds a live lease");
+
+    // The prepared leader is the follower PPF handed the best (highest-
+    // priority, shortest-timeout) configuration.
+    let prepared = (1..=4u32)
+        .max_by_key(|id| pump.node(*id).current_config().unwrap().priority.get())
+        .unwrap();
+
+    pump.crash(5);
+    pump.fire(ServerId::new(prepared), TimerKind::Election);
+    assert_eq!(pump.leader(), Some(ServerId::new(prepared)), "reflex promotion");
+    // The promotion could only happen after the fence: baseTime (the
+    // prepared leader's timeout, 1500 ms) dwarfs lease × 5/4 (125 ms).
+    assert!(pump.now >= t_confirm + Duration::from_micros(125_000));
+
+    // The deposed leader still *believes* it leads, but its lease is
+    // long gone — a read attempt gets no lease answer...
+    let now = pump.now;
+    assert!(pump.node(5).is_leader(), "deposed leader has not heard the news");
+    assert!(!pump.node(5).lease_valid(now));
+    let (_batch, actions) = pump
+        .node_mut(5)
+        .read_batch(vec![Bytes::from_static(b"stale?")], now)
+        .unwrap();
+    assert!(reads_ready(&actions).is_empty(), "stale read must not be answered");
+
+    // ...and its confirm round, once the partition heals, only harvests
+    // higher-term refusals: the batch fails, never serves.
+    pump.crashed.clear();
+    pump.absorb(ServerId::new(5), actions);
+    pump.settle();
+    assert_eq!(pump.node(5).role(), Role::Follower, "refusals demote the ghost");
+    assert_eq!(pump.node(5).metrics().reads_served, 0);
+    assert!(pump.node(5).metrics().reads_failed >= 1);
+
+    // The new leader, meanwhile, answers reads under its own fresh lease.
+    let now = pump.now;
+    let (batch, actions) = pump
+        .node_mut(prepared)
+        .read_batch(vec![Bytes::from_static(b"fresh")], now)
+        .unwrap();
+    assert_eq!(reads_ready(&actions).len(), 1, "new leader serves batch {batch}");
+}
+
+#[test]
+fn clock_drift_within_the_fence_margin_cannot_revive_a_lease() {
+    // The fence buys lease × 5/4 of real silence before any vote. A
+    // deposed leader whose clock runs up to 25 % slow sees at least
+    // 4/5 × (lease × 5/4) = lease elapse in that window — so by the
+    // earliest possible promotion even the laggard's lease has expired.
+    let mut pump = escape_lease_cluster(5);
+    pump.fire(ServerId::new(5), TimerKind::Election);
+    pump.fire(ServerId::new(5), TimerKind::Heartbeat);
+    let t_confirm = pump.now; // last round start = last lease extension
+
+    // Sanity: just before the lease boundary the lease is still live.
+    assert!(pump.node(5).lease_valid(t_confirm + Duration::from_millis(99)));
+
+    // Worst-case laggard clock at the earliest vote instant: real time
+    // advanced by the full fence, local clock by only 4/5 of it — which
+    // is exactly the lease length. Strictly not valid.
+    let fence = Duration::from_micros(100_000 * 5 / 4);
+    let local_elapsed = Duration::from_micros(fence.as_micros() * 4 / 5);
+    assert_eq!(local_elapsed, Duration::from_millis(100), "margin arithmetic");
+    assert!(
+        !pump.node(5).lease_valid(t_confirm + local_elapsed),
+        "a 25 % slow clock must still see its lease expire before any vote"
     );
 }

@@ -35,6 +35,11 @@ pub struct AppendEntriesArgs {
     pub leader_commit: LogIndex,
     /// ESCAPE: newly assigned configuration for this follower (`newConfig`).
     pub new_config: Option<Configuration>,
+    /// Broadcast-round stamp for ReadIndex leadership confirmation: the
+    /// leader's monotone round counter at send time, echoed verbatim in
+    /// the reply. `0` means "no round information" (e.g. pre-upgrade
+    /// peers or refusal replies) and never confirms anything.
+    pub seq: u64,
 }
 
 /// Follower-reported status piggybacked on `AppendEntries` replies
@@ -65,6 +70,11 @@ pub struct AppendEntriesReply {
     pub match_hint: LogIndex,
     /// ESCAPE: the follower's responsiveness report (`status`).
     pub status: Option<ConfigStatus>,
+    /// Echo of the request's [`AppendEntriesArgs::seq`]: by replying at
+    /// all under the leader's term the follower acknowledges that round,
+    /// which is what lets the leader confirm leadership for queued reads
+    /// without a dedicated RPC. `0` when the request carried no round.
+    pub seq: u64,
 }
 
 /// `InstallSnapshot` RPC arguments (Raft §7): ships the state-machine
@@ -240,6 +250,7 @@ mod tests {
             entries: Vec::new(),
             leader_commit: LogIndex::new(4),
             new_config: None,
+            seq: 0,
         })
     }
 
@@ -264,6 +275,7 @@ mod tests {
             success: true,
             match_hint: LogIndex::new(1),
             status: None,
+            seq: 0,
         });
         assert_eq!(aer.term(), Term::new(9));
     }
@@ -276,6 +288,7 @@ mod tests {
             success: false,
             match_hint: LogIndex::ZERO,
             status: None,
+            seq: 0,
         });
         assert!(!reply.is_broadcast_request());
     }

@@ -69,6 +69,18 @@ pub struct NodeMetrics {
     pub commit_latency_total_micros: u64,
     /// Number of commits that contributed a latency measurement.
     pub commits_timed: u64,
+    /// Linearizable read batches accepted while leading.
+    pub read_batches: u64,
+    /// Queries answered through the read path (lease + quorum).
+    pub reads_served: u64,
+    /// Queries accepted under a held lease (no network round).
+    pub lease_reads: u64,
+    /// Queries that needed a ReadIndex confirmation round.
+    pub quorum_reads: u64,
+    /// Queries failed unanswered because leadership changed first.
+    pub reads_failed: u64,
+    /// Votes refused by the lease fence (leader heard too recently).
+    pub votes_lease_fenced: u64,
 }
 
 impl NodeMetrics {

@@ -402,6 +402,15 @@ impl ElectionPolicy for EscapePolicy {
     fn restore_config(&mut self, config: Configuration) {
         self.config = config;
     }
+
+    fn lease_bound(&self) -> Option<Duration> {
+        // Eq. 1's floor is `baseTime` (the priority-n configuration the
+        // patrol hands the freshest follower). Capping the lease here keeps
+        // the vote fence at or below the prepared leader's timeout, so the
+        // PPF reflex promotion is never delayed by the fence — it fires
+        // exactly when every possible lease has also expired.
+        Some(crate::policy::lease_bound_for(self.params.base_time()))
+    }
 }
 
 #[cfg(test)]

@@ -151,6 +151,24 @@ pub trait ElectionPolicy: std::fmt::Debug + Send {
     /// configuration is adopted unconditionally — it *is* this node's
     /// pre-crash state, not a proposal from a leader.
     fn restore_config(&mut self, _config: Configuration) {}
+
+    /// The longest leader lease this policy can tolerate, or `None` for no
+    /// policy opinion. The engine caps `Options::lease_duration` here so
+    /// the lease vote fence (lease × 5/4 of required silence) never
+    /// exceeds the policy's *minimum* election timeout: a fence above it
+    /// would delay legitimate failovers — for ESCAPE, it would cost the
+    /// prepared leader its reflex advantage. Policies with a known
+    /// timeout floor `T` return `T × 4/5`.
+    fn lease_bound(&self) -> Option<Duration> {
+        None
+    }
+}
+
+/// `timeout_floor × 4/5`: the largest lease whose vote fence still fits
+/// under a policy's minimum election timeout (helper for
+/// [`ElectionPolicy::lease_bound`] implementations).
+pub(crate) fn lease_bound_for(timeout_floor: Duration) -> Duration {
+    Duration::from_micros(timeout_floor.as_micros().saturating_mul(4) / 5)
 }
 
 #[cfg(test)]
@@ -208,5 +226,17 @@ mod tests {
         assert!(!p.begin_heartbeat_round());
         assert_eq!(p.config_for(ServerId::new(2)), None);
         assert_eq!(p.current_config(), None);
+        assert_eq!(p.lease_bound(), None);
+    }
+
+    #[test]
+    fn lease_bound_leaves_fence_room() {
+        // bound × 5/4 (the fence) must not exceed the floor it came from.
+        for floor_ms in [5u64, 150, 1000, 2000] {
+            let floor = Duration::from_millis(floor_ms);
+            let bound = lease_bound_for(floor);
+            let fence = Duration::from_micros(bound.as_micros() * 5 / 4);
+            assert!(fence <= floor, "fence {fence:?} exceeds floor {floor:?}");
+        }
     }
 }

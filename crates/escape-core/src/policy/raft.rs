@@ -45,6 +45,9 @@ impl TimeoutSource for RandomizedTimeouts {
 #[derive(Debug)]
 pub struct RaftPolicy {
     timeouts: Box<dyn TimeoutSource>,
+    /// The smallest timeout the source can draw, when known; bounds the
+    /// leader lease. Scripted sources advertise no floor (no lease).
+    timeout_floor: Option<Duration>,
 }
 
 impl RaftPolicy {
@@ -61,13 +64,18 @@ impl RaftPolicy {
                 max,
                 rng: Xoshiro256::seed_from(seed),
             }),
+            timeout_floor: Some(min),
         }
     }
 
     /// A policy driven by an arbitrary timeout source (scripted schedules
-    /// for the Fig. 2 / Fig. 10 scenarios).
+    /// for the Fig. 2 / Fig. 10 scenarios). No timeout floor is known, so
+    /// [`lease_bound`](ElectionPolicy::lease_bound) disables leases.
     pub fn with_source(timeouts: Box<dyn TimeoutSource>) -> Self {
-        RaftPolicy { timeouts }
+        RaftPolicy {
+            timeouts,
+            timeout_floor: None,
+        }
     }
 }
 
@@ -78,6 +86,10 @@ impl ElectionPolicy for RaftPolicy {
 
     fn election_timeout(&mut self) -> Duration {
         self.timeouts.next_timeout()
+    }
+
+    fn lease_bound(&self) -> Option<Duration> {
+        self.timeout_floor.map(crate::policy::lease_bound_for)
     }
 }
 

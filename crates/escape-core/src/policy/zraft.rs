@@ -36,6 +36,9 @@ use crate::types::ServerId;
 pub struct ZRaftPolicy {
     config: Configuration,
     scaled_terms: bool,
+    /// Eq. 1's `baseTime`: the cluster-wide minimum election timeout
+    /// (priority `n`'s timeout), which bounds the leader lease.
+    base_time: Duration,
 }
 
 impl ZRaftPolicy {
@@ -46,6 +49,7 @@ impl ZRaftPolicy {
         ZRaftPolicy {
             config: params.initial_configuration(id),
             scaled_terms: true,
+            base_time: params.base_time(),
         }
     }
 
@@ -59,6 +63,7 @@ impl ZRaftPolicy {
         ZRaftPolicy {
             config: params.initial_configuration(id),
             scaled_terms: false,
+            base_time: params.base_time(),
         }
     }
 }
@@ -82,6 +87,12 @@ impl ElectionPolicy for ZRaftPolicy {
 
     fn current_config(&self) -> Option<Configuration> {
         Some(self.config)
+    }
+
+    fn lease_bound(&self) -> Option<Duration> {
+        // The cluster's shortest election timeout is priority-n's, which
+        // Eq. 1 pins to `baseTime` — that is the fence budget.
+        Some(crate::policy::lease_bound_for(self.base_time))
     }
 }
 

@@ -32,6 +32,17 @@ pub trait StateMachine: std::fmt::Debug + Send {
     /// Replaces the state with a received snapshot. Must be implemented by
     /// any state machine whose [`StateMachine::snapshot`] returns `Some`.
     fn restore(&mut self, _data: &Bytes) {}
+
+    /// Answers a read-only query against the current state, off the log.
+    ///
+    /// The engine only calls this from the linearizable read path
+    /// (`Node::read_batch`), after confirming leadership and waiting for
+    /// `applied` to reach the batch's read index — implementations just
+    /// look the answer up; they must not mutate state. The default
+    /// answers every query with an empty payload.
+    fn query(&self, _query: &Bytes) -> Bytes {
+        Bytes::new()
+    }
 }
 
 /// A state machine that ignores every command; useful when an experiment

@@ -1,9 +1,12 @@
 //! KV commands and responses with their binary encoding.
 //!
-//! Commands are what clients propose into the replicated log; responses
-//! are what the state machine returns from `apply`. Reads (`Get`) go
-//! through the log too, which makes them linearizable — the classic
-//! read-through-consensus design.
+//! Mutations are what clients propose into the replicated log; responses
+//! are what the state machine returns from `apply`. Reads (`Get`) do
+//! **not** go through the log: they ride the engine's linearizable read
+//! path (`read_batch` — ReadIndex confirmation or a held leader lease)
+//! and are answered by `KvStateMachine::query` against applied state.
+//! `Get` keeps its log encoding only so replicas can still replay
+//! read-through-consensus entries written by older versions.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -25,7 +28,8 @@ pub enum KvCommand {
         /// UTF-8 key.
         key: String,
     },
-    /// Read `key` (linearizable: sequenced through the log).
+    /// Read `key` (linearizable: served off the log via the engine's
+    /// ReadIndex/lease path, see `KvStateMachine::query`).
     Get {
         /// UTF-8 key.
         key: String,

@@ -94,10 +94,32 @@ impl KvStateMachine {
 
 impl StateMachine for KvStateMachine {
     fn apply(&mut self, _index: LogIndex, command: &Bytes) -> Bytes {
-        self.applied += 1;
         let response = match KvCommand::decode(command) {
-            Ok(cmd) => self.execute(cmd),
-            Err(_) => KvResponse::Malformed,
+            // A `Get` in the log is a legacy read-through-consensus entry
+            // (today's clients use the off-log read path): answered, but a
+            // read is not a mutation — it counts toward neither `applied`
+            // nor the digest, so a replica that served reads through the
+            // log and one that never saw them still converge.
+            Ok(cmd @ KvCommand::Get { .. }) => self.execute(cmd),
+            Ok(cmd) => {
+                self.applied += 1;
+                self.execute(cmd)
+            }
+            Err(_) => {
+                self.applied += 1;
+                KvResponse::Malformed
+            }
+        };
+        response.encode()
+    }
+
+    /// The linearizable read path: decodes a [`KvCommand::Get`] and looks
+    /// the key up. Mutations (or garbage) sent as queries are refused with
+    /// [`KvResponse::Malformed`] — they must go through the log.
+    fn query(&self, query: &Bytes) -> Bytes {
+        let response = match KvCommand::decode(query) {
+            Ok(KvCommand::Get { key }) => KvResponse::Value(self.map.get(&key).cloned()),
+            Ok(_) | Err(_) => KvResponse::Malformed,
         };
         response.encode()
     }
@@ -190,7 +212,63 @@ mod tests {
             KvResponse::Value(None)
         );
         assert!(sm.is_empty());
-        assert_eq!(sm.applied_count(), 4);
+        assert_eq!(
+            sm.applied_count(),
+            2,
+            "reads are not mutations: only Put and Delete count"
+        );
+    }
+
+    #[test]
+    fn query_answers_gets_without_touching_applied_state() {
+        let mut sm = KvStateMachine::new();
+        apply(&mut sm, 1, KvCommand::Put {
+            key: "a".into(),
+            value: Bytes::from_static(b"1"),
+        });
+        let digest = sm.digest();
+        let raw = StateMachine::query(&sm, &KvCommand::Get { key: "a".into() }.encode());
+        assert_eq!(
+            KvResponse::decode(&raw).unwrap(),
+            KvResponse::Value(Some(Bytes::from_static(b"1")))
+        );
+        let raw = StateMachine::query(&sm, &KvCommand::Get { key: "absent".into() }.encode());
+        assert_eq!(KvResponse::decode(&raw).unwrap(), KvResponse::Value(None));
+        assert_eq!(sm.applied_count(), 1, "queries never count as applies");
+        assert_eq!(sm.digest(), digest, "queries never change the digest");
+    }
+
+    #[test]
+    fn query_refuses_mutations_and_garbage() {
+        let sm = KvStateMachine::new();
+        let put = KvCommand::Put {
+            key: "k".into(),
+            value: Bytes::from_static(b"v"),
+        };
+        let raw = StateMachine::query(&sm, &put.encode());
+        assert_eq!(KvResponse::decode(&raw).unwrap(), KvResponse::Malformed);
+        let raw = StateMachine::query(&sm, &Bytes::from_static(&[0xEE]));
+        assert_eq!(KvResponse::decode(&raw).unwrap(), KvResponse::Malformed);
+    }
+
+    #[test]
+    fn legacy_get_entries_in_the_log_do_not_diverge_replicas() {
+        // One replica applied read-through-log entries, the other never
+        // saw them: same mutations ⇒ same digest.
+        let mut with_reads = KvStateMachine::new();
+        let mut without = KvStateMachine::new();
+        apply(&mut with_reads, 1, KvCommand::Put {
+            key: "k".into(),
+            value: Bytes::from_static(b"v"),
+        });
+        apply(&mut with_reads, 2, KvCommand::Get { key: "k".into() });
+        apply(&mut with_reads, 3, KvCommand::Get { key: "other".into() });
+        apply(&mut without, 1, KvCommand::Put {
+            key: "k".into(),
+            value: Bytes::from_static(b"v"),
+        });
+        assert_eq!(with_reads.digest(), without.digest());
+        assert_eq!(with_reads, without);
     }
 
     #[test]

@@ -317,6 +317,75 @@ impl ShardedNode {
             .collect()
     }
 
+    /// Linearizable reads, per-shard batched like
+    /// [`ShardedNode::propose_batch`]: every `(key, query)` pair is
+    /// routed and enqueued into its owning group before any reply is
+    /// awaited, so each group answers its share of the queries with one
+    /// ReadIndex confirmation round (or zero rounds under a held lease)
+    /// instead of one per query. Returns one response per input, in
+    /// input order.
+    pub fn read_batch(&self, items: Vec<(Bytes, Bytes)>) -> Vec<Result<Bytes, ShardError>> {
+        // Phase 1: route + enqueue. Queries for the same group land
+        // back-to-back in its inbox, where the node loop's read drain
+        // coalesces them into one engine batch.
+        let mut pending = Vec::with_capacity(items.len());
+        for (key, query) in items {
+            let group = self.route(&key);
+            let Some(inbox) = self.inbox(group) else {
+                pending.push(Err(ShardError::UnknownGroup(group)));
+                continue;
+            };
+            let (tx, rx) = bounded(1);
+            match inbox.send(NodeInput::Read {
+                queries: vec![query],
+                reply: tx,
+            }) {
+                Ok(()) => pending.push(Ok(rx)),
+                Err(_) => pending.push(Err(ShardError::Unavailable)),
+            }
+        }
+        // Phase 2: collect in input order.
+        pending
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(rx) => match rx.recv_timeout(REPLY_TIMEOUT) {
+                    Ok(Ok(mut results)) => {
+                        debug_assert_eq!(results.len(), 1);
+                        Ok(results.pop().unwrap_or_default())
+                    }
+                    Ok(Err(e)) => Err(e.into()),
+                    Err(_) => Err(ShardError::Unavailable),
+                },
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    /// Routes `key` and reads it through its owning group's linearizable
+    /// read path on this server.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::NotLeader`] when this server does not lead the
+    /// owning group, [`ShardError::Unavailable`] when the group thread is
+    /// gone or silent.
+    pub fn read(&self, key: &[u8], query: Bytes) -> Result<(GroupId, Bytes), ShardError> {
+        let group = self.route(key);
+        let inbox = self.inbox(group).ok_or(ShardError::UnknownGroup(group))?;
+        let (tx, rx) = bounded(1);
+        inbox
+            .send(NodeInput::Read {
+                queries: vec![query],
+                reply: tx,
+            })
+            .map_err(|_| ShardError::Unavailable)?;
+        match rx.recv_timeout(REPLY_TIMEOUT) {
+            Ok(Ok(mut results)) => Ok((group, results.pop().unwrap_or_default())),
+            Ok(Err(e)) => Err(e.into()),
+            Err(_) => Err(ShardError::Unavailable),
+        }
+    }
+
     /// Waits for `group` to apply `index`, returning the state machine's
     /// response.
     ///

@@ -173,6 +173,7 @@ fn conf_clock_survives_crash_and_fences_stale_candidates() {
                 entries: Vec::new(),
                 leader_commit: LogIndex::ZERO,
                 new_config: Some(assigned),
+                seq: 0,
             }),
             Time::ZERO,
         );
@@ -217,6 +218,7 @@ fn recovered_follower_log_matches_pre_crash_truncation() {
                 .collect(),
             leader_commit: LogIndex::ZERO,
             new_config: None,
+            seq: 0,
         })
     };
     let expected_last;

@@ -25,6 +25,13 @@ pub trait Outbound: Send + 'static {
     /// Best-effort delivery of `msg` to `to` (errors are the network's
     /// problem; the protocol tolerates loss).
     fn send(&self, to: ServerId, msg: Message);
+
+    /// Total outbound frames this node has dropped under backpressure
+    /// (bounded per-peer queues shed oldest-first). Transports without a
+    /// bounded queue report zero.
+    fn frames_dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// A snapshot of a node's externally visible state.
@@ -47,6 +54,8 @@ pub struct NodeStatus {
     /// The engine's protocol counters at snapshot time — including the
     /// replication pipeline's batch-size and commit-latency histograms.
     pub metrics: NodeMetrics,
+    /// Outbound frames this node's transport shed under backpressure.
+    pub frames_dropped: u64,
 }
 
 /// Everything a node thread can receive.
@@ -60,6 +69,15 @@ pub enum NodeInput {
         command: Bytes,
         /// Where to send the outcome.
         reply: Sender<Result<LogIndex, ProposeError>>,
+    },
+    /// A batch of linearizable read-only queries, answered off the log via
+    /// the engine's ReadIndex/lease path; the reply carries one response
+    /// per query, in order, or the leadership refusal.
+    Read {
+        /// Encoded state-machine queries.
+        queries: Vec<Bytes>,
+        /// Where to send the outcome.
+        reply: Sender<Result<Vec<Bytes>, ProposeError>>,
     },
     /// Ask for a status snapshot.
     Query {
@@ -93,6 +111,9 @@ pub fn node_loop(
 ) {
     let mut timers: BTreeMap<TimerKind, (TimerToken, Time)> = BTreeMap::new();
     let mut apply_waiters: HashMap<LogIndex, Vec<Sender<Bytes>>> = HashMap::new();
+    // Pending read batches, keyed by the engine's batch id; each client's
+    // reply channel remembers how many of the batch's queries are its own.
+    let mut read_waiters: ReadWaiters = HashMap::new();
     // Recent apply results, so a client that registers interest just after
     // the apply still gets its response (bounded window).
     let mut recent_results: BTreeMap<LogIndex, Bytes> = BTreeMap::new();
@@ -103,6 +124,7 @@ pub fn node_loop(
         actions,
         &mut timers,
         &mut apply_waiters,
+        &mut read_waiters,
         &mut recent_results,
         &outbound,
     );
@@ -132,6 +154,7 @@ pub fn node_loop(
                     actions,
                     &mut timers,
                     &mut apply_waiters,
+                    &mut read_waiters,
                     &mut recent_results,
                     &outbound,
                 );
@@ -164,6 +187,11 @@ pub fn node_loop(
                     paused = true;
                     timers.clear();
                     apply_waiters.clear();
+                    for (_, splits) in read_waiters.drain() {
+                        for (reply, _) in splits {
+                            let _ = reply.send(Err(ProposeError::NotLeader { hint: None }));
+                        }
+                    }
                 }
                 NodeInput::Resume => {
                     if paused {
@@ -173,6 +201,7 @@ pub fn node_loop(
                             actions,
                             &mut timers,
                             &mut apply_waiters,
+                            &mut read_waiters,
                             &mut recent_results,
                             &outbound,
                         );
@@ -185,6 +214,7 @@ pub fn node_loop(
                             actions,
                             &mut timers,
                             &mut apply_waiters,
+                            &mut read_waiters,
                             &mut recent_results,
                             &outbound,
                         );
@@ -225,12 +255,60 @@ pub fn node_loop(
                                     actions,
                                     &mut timers,
                                     &mut apply_waiters,
+                                    &mut read_waiters,
                                     &mut recent_results,
                                     &outbound,
                                 );
                             }
                             Err(e) => {
                                 for reply in replies {
+                                    let _ = reply.send(Err(e));
+                                }
+                            }
+                        }
+                    }
+                }
+                NodeInput::Read { queries, reply } => {
+                    // Read-queue drain, mirroring the proposal drain: every
+                    // read batch already waiting in the inbox shares one
+                    // engine confirmation round. A non-read input ends the
+                    // drain and is carried into the next pass.
+                    let mut queries = queries;
+                    let mut splits = vec![(reply, queries.len())];
+                    while queries.len() < PROPOSE_BATCH_MAX {
+                        match inbox.try_recv() {
+                            Ok(NodeInput::Read { queries: more, reply }) => {
+                                splits.push((reply, more.len()));
+                                queries.extend(more);
+                            }
+                            Ok(other) => {
+                                carry = Some(other);
+                                break;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    if paused {
+                        for (reply, _) in splits {
+                            let _ = reply.send(Err(ProposeError::NotLeader { hint: None }));
+                        }
+                    } else {
+                        match node.read_batch(queries, clock.now()) {
+                            Ok((batch, actions)) => {
+                                // Register before absorbing: a lease-path
+                                // batch is already ReadReady in `actions`.
+                                read_waiters.insert(batch, splits);
+                                absorb(
+                                    actions,
+                                    &mut timers,
+                                    &mut apply_waiters,
+                                    &mut read_waiters,
+                                    &mut recent_results,
+                                    &outbound,
+                                );
+                            }
+                            Err(e) => {
+                                for (reply, _) in splits {
                                     let _ = reply.send(Err(e));
                                 }
                             }
@@ -247,6 +325,7 @@ pub fn node_loop(
                         last_applied: node.last_applied(),
                         log_len: node.log().len(),
                         metrics: *node.metrics(),
+                        frames_dropped: outbound.frames_dropped(),
                     });
                 }
                 NodeInput::AwaitApplied { index, reply } => {
@@ -274,10 +353,15 @@ pub const PROPOSE_BATCH_MAX: usize = 256;
 /// registrations.
 const RESULT_WINDOW: usize = 1024;
 
+/// Pending linearizable read batches: engine batch id → the client reply
+/// channels, each with its share of the batch's queries (in order).
+type ReadWaiters = HashMap<u64, Vec<(Sender<Result<Vec<Bytes>, ProposeError>>, usize)>>;
+
 fn absorb(
     actions: Vec<Action>,
     timers: &mut BTreeMap<TimerKind, (TimerToken, Time)>,
     apply_waiters: &mut HashMap<LogIndex, Vec<Sender<Bytes>>>,
+    read_waiters: &mut ReadWaiters,
     recent_results: &mut BTreeMap<LogIndex, Bytes>,
     outbound: &Arc<dyn Outbound + Sync>,
 ) {
@@ -297,6 +381,22 @@ fn absorb(
                 while recent_results.len() > RESULT_WINDOW {
                     let oldest = *recent_results.keys().next().expect("non-empty");
                     recent_results.remove(&oldest);
+                }
+            }
+            Action::ReadReady { batch, results } => {
+                if let Some(splits) = read_waiters.remove(&batch) {
+                    let mut results = results.into_iter();
+                    for (reply, count) in splits {
+                        let chunk: Vec<Bytes> = results.by_ref().take(count).collect();
+                        let _ = reply.send(Ok(chunk));
+                    }
+                }
+            }
+            Action::ReadFailed { batch, error } => {
+                if let Some(splits) = read_waiters.remove(&batch) {
+                    for (reply, _) in splits {
+                        let _ = reply.send(Err(error));
+                    }
                 }
             }
             Action::BecameCandidate { .. }
@@ -381,6 +481,7 @@ mod tests {
             last_applied: LogIndex::ZERO,
             log_len: 0,
             metrics: NodeMetrics::new(),
+            frames_dropped: 0,
         };
         assert_eq!(a.clone(), a);
     }

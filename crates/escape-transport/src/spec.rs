@@ -109,10 +109,16 @@ impl ProtocolSpec {
         }
     }
 
-    /// Engine options matched to local timings (50 ms heartbeats).
+    /// Engine options matched to local timings: 50 ms heartbeats and a
+    /// 100 ms leader lease. The lease's vote fence is lease × 5/4 =
+    /// 125 ms of required silence — under the 150 ms floor every local
+    /// spec gives its shortest election timeout, so a legitimate failover
+    /// (a voter whose timer actually expired) is never delayed. The
+    /// engine additionally caps the lease at the policy's own bound.
     pub fn local_options() -> Options {
         Options {
             heartbeat_interval: Duration::from_millis(50),
+            lease_duration: Some(Duration::from_millis(100)),
             ..Options::default()
         }
     }
@@ -124,16 +130,31 @@ mod tests {
 
     #[test]
     fn local_specs_have_sane_ratios() {
-        // Heartbeat must sit well below the shortest election timeout.
-        let hb = ProtocolSpec::local_options().heartbeat_interval;
+        // Heartbeat must sit well below the shortest election timeout,
+        // and the lease fence (lease × 5/4) strictly below it too, so
+        // the fence never outlives a legitimately expired election timer.
+        let opts = ProtocolSpec::local_options();
+        let hb = opts.heartbeat_interval;
+        let lease = opts.lease_duration.expect("local options enable leases");
+        let fence = Duration::from_micros(lease.as_micros() * 5 / 4);
         match ProtocolSpec::escape_local() {
-            ProtocolSpec::Escape { base_time, .. } => assert!(hb * 3 <= base_time),
+            ProtocolSpec::Escape { base_time, .. } => {
+                assert!(hb * 3 <= base_time);
+                assert!(fence < base_time);
+            }
             _ => unreachable!(),
         }
         match ProtocolSpec::raft_local() {
-            ProtocolSpec::Raft { timeout_min, .. } => assert!(hb * 3 <= timeout_min),
+            ProtocolSpec::Raft { timeout_min, .. } => {
+                assert!(hb * 3 <= timeout_min);
+                assert!(fence < timeout_min);
+            }
             _ => unreachable!(),
         }
+        // The lease must survive losing a heartbeat or two: each round
+        // extends it, so it only lapses after lease/heartbeat silent
+        // rounds.
+        assert!(lease >= hb * 2, "lease too short to span heartbeat jitter");
     }
 
     #[test]

@@ -92,6 +92,9 @@ struct PeerLink {
     /// Earliest instant the next connect attempt is allowed.
     next_attempt: Option<Instant>,
     backoff: Option<Duration>,
+    /// Frames shed by the bound or a broken connection — the drops that
+    /// used to be silent. Monotone over the link's lifetime.
+    dropped: u64,
 }
 
 impl PeerLink {
@@ -108,6 +111,7 @@ impl PeerLink {
             }
             let dropped = self.pending.remove(idx).expect("index checked");
             self.pending_bytes -= dropped.len();
+            self.dropped += 1;
         }
     }
 
@@ -163,6 +167,7 @@ impl PeerLink {
         if self.front_offset > 0 {
             if let Some(partial) = self.pending.pop_front() {
                 self.pending_bytes -= partial.len();
+                self.dropped += 1;
             }
             self.front_offset = 0;
         }
@@ -343,6 +348,22 @@ impl TcpMesh {
             .get(&to)
             .map_or(0, |(_, link)| link.lock().pending_bytes)
     }
+
+    /// Frames shed toward `to` so far (queue bound + broken-connection
+    /// partials). Monotone.
+    pub fn frames_dropped_to(&self, to: ServerId) -> u64 {
+        self.peers
+            .get(&to)
+            .map_or(0, |(_, link)| link.lock().dropped)
+    }
+
+    /// Frames shed toward all peers so far. Monotone.
+    pub fn frames_dropped(&self) -> u64 {
+        self.peers
+            .values()
+            .map(|(_, link)| link.lock().dropped)
+            .sum()
+    }
 }
 
 /// A group's sending handle onto a shared [`TcpMesh`]: implements
@@ -371,6 +392,13 @@ impl Outbound for GroupOutbound {
         let mut frame = BytesMut::new();
         write_frame(&mut frame, &envelope.to_bytes());
         self.mesh.send_frame(to, frame.freeze());
+    }
+
+    /// The mesh is shared by every group in the process, so this reports
+    /// process-wide sheds — the quantity an operator watches for
+    /// backpressure, regardless of which group's frame was unlucky.
+    fn frames_dropped(&self) -> u64 {
+        self.mesh.frames_dropped()
     }
 }
 
@@ -568,6 +596,31 @@ impl TcpNode {
                 }
             })
             .collect()
+    }
+
+    /// Linearizable reads, off the log: the whole batch rides the engine's
+    /// ReadIndex/lease path (`Node::read_batch`) and resolves at once —
+    /// one response per query, in order. `Err(None)` means the node thread
+    /// went away or did not answer within `timeout`; `Err(Some(e))` is the
+    /// engine's leadership refusal (retry at `e`'s hint).
+    pub fn read_batch(
+        &self,
+        queries: Vec<Bytes>,
+        timeout: Duration,
+    ) -> Result<Vec<Bytes>, Option<escape_core::engine::ProposeError>> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        if self
+            .inbox
+            .send(NodeInput::Read { queries, reply: tx })
+            .is_err()
+        {
+            return Err(None);
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(Ok(results)) => Ok(results),
+            Ok(Err(e)) => Err(Some(e)),
+            Err(_) => Err(None),
+        }
     }
 
     fn stop_acceptor(&self) {
@@ -920,6 +973,11 @@ mod tests {
         }
         assert!(link.pending_bytes <= PENDING_MAX_BYTES);
         assert!(link.pending.len() < 64);
+        assert_eq!(
+            link.dropped,
+            64 - link.pending.len() as u64,
+            "every shed frame must be counted"
+        );
     }
 
     /// A frame that is half-way into the socket must survive the bound

@@ -281,6 +281,7 @@ impl Encode for AppendEntriesArgs {
         }
         self.leader_commit.encode(buf);
         put_option(buf, &self.new_config);
+        put_uvarint(buf, self.seq);
     }
 }
 
@@ -307,6 +308,7 @@ impl Decode for AppendEntriesArgs {
             entries,
             leader_commit: LogIndex::decode(buf)?,
             new_config: get_option(buf)?,
+            seq: get_uvarint(buf)?,
         })
     }
 }
@@ -317,6 +319,7 @@ impl Encode for AppendEntriesReply {
         put_bool(buf, self.success);
         self.match_hint.encode(buf);
         put_option(buf, &self.status);
+        put_uvarint(buf, self.seq);
     }
 }
 
@@ -327,6 +330,7 @@ impl Decode for AppendEntriesReply {
             success: get_bool(buf)?,
             match_hint: LogIndex::decode(buf)?,
             status: get_option(buf)?,
+            seq: get_uvarint(buf)?,
         })
     }
 }
@@ -558,6 +562,7 @@ mod tests {
                 Priority::new(8),
                 ConfClock::new(12),
             )),
+            seq: 41,
         });
     }
 
@@ -571,6 +576,7 @@ mod tests {
             entries: Vec::new(),
             leader_commit: LogIndex::ZERO,
             new_config: None,
+            seq: 0,
         });
     }
 
@@ -585,6 +591,7 @@ mod tests {
                 timer_period: Duration::from_millis(2500),
                 conf_clock: ConfClock::new(3),
             }),
+            seq: 7,
         });
         round_trip(RequestVoteArgs {
             term: Term::new(10),
@@ -620,12 +627,14 @@ mod tests {
             entries: vec![sample_entry(1)],
             leader_commit: LogIndex::new(2),
             new_config: None,
+            seq: 9,
         }));
         round_trip(Message::AppendEntriesReply(AppendEntriesReply {
             term: Term::new(3),
             success: false,
             match_hint: LogIndex::ZERO,
             status: None,
+            seq: 0,
         }));
     }
 
@@ -699,6 +708,7 @@ mod tests {
             entries: Vec::new(),
             leader_commit: LogIndex::new(100),
             new_config: None,
+            seq: 5,
         });
         assert!(hb.to_bytes().len() <= 12, "heartbeats must be compact");
     }

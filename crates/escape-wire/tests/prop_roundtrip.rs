@@ -78,10 +78,11 @@ prop_compose! {
         entries in proptest::collection::vec(arb_entry(), 0..8),
         leader_commit in arb_index(),
         new_config in proptest::option::of(arb_config()),
+        seq in any::<u64>(),
     ) -> AppendEntriesArgs {
         AppendEntriesArgs {
             term, leader_id, prev_log_index, prev_log_term,
-            entries, leader_commit, new_config,
+            entries, leader_commit, new_config, seq,
         }
     }
 }
@@ -89,16 +90,22 @@ prop_compose! {
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         arb_append_entries().prop_map(Message::AppendEntries),
-        (arb_term(), any::<bool>(), arb_index(), proptest::option::of(arb_status())).prop_map(
-            |(term, success, match_hint, status)| {
+        (
+            arb_term(),
+            any::<bool>(),
+            arb_index(),
+            proptest::option::of(arb_status()),
+            any::<u64>()
+        )
+            .prop_map(|(term, success, match_hint, status, seq)| {
                 Message::AppendEntriesReply(AppendEntriesReply {
                     term,
                     success,
                     match_hint,
                     status,
+                    seq,
                 })
-            }
-        ),
+            }),
         (
             arb_term(),
             arb_server_id(),
