@@ -55,6 +55,7 @@ impl Node {
         };
         let broadcast = self.next_broadcast_id();
         for i in 0..self.peers.len() {
+            // lint:allow(panic): i < peers.len() by the loop bound
             let peer = self.peers[i];
             self.send(peer, Message::RequestVote(args), Some(broadcast), out);
         }
@@ -82,6 +83,7 @@ impl Node {
         };
         let broadcast = self.next_broadcast_id();
         for i in 0..self.peers.len() {
+            // lint:allow(panic): i < peers.len() by the loop bound
             let peer = self.peers[i];
             if !self.votes_granted.contains(&peer) {
                 self.send(peer, Message::RequestVote(args), Some(broadcast), out);

@@ -292,6 +292,7 @@ impl NodeBuilder {
     /// Panics if no policy was supplied, if the cluster does not contain the
     /// node's own id, or if the cluster contains duplicate ids.
     pub fn build(self) -> Node {
+        // lint:allow(panic): documented `# Panics` builder contract
         let mut policy = self.policy.expect("NodeBuilder requires a policy");
         let mut seen = BTreeSet::new();
         for id in &self.cluster {
@@ -692,6 +693,7 @@ impl Node {
         now: Time,
     ) -> Result<(LogIndex, Vec<Action>), ProposeError> {
         let (indexes, out) = self.propose_batch(vec![command], now)?;
+        // lint:allow(panic): propose_batch returns one index per command
         Ok((indexes[0], out))
     }
 
@@ -782,6 +784,7 @@ impl Node {
             0 // pre-confirmed: the lease vouches for our leadership
         } else {
             self.metrics.quorum_reads += queries.len() as u64;
+            // lint:allow(write-before-send): the read path mutates nothing durable
             self.confirm_round(now, &mut out)
         };
         // Not a safe read index until our own no-op commits: see
@@ -852,6 +855,7 @@ impl Node {
         }
         let mut acks: Vec<u64> = self.acked_rounds.values().copied().collect();
         acks.sort_unstable_by(|a, b| b.cmp(a));
+        // lint:allow(panic): needed >= 1 (quorum) and len >= needed checked above
         acks[needed - 1]
     }
 
@@ -876,12 +880,11 @@ impl Node {
         }
         let confirmed = self.confirmed_round();
         if let Some(lease) = self.effective_lease() {
-            while self
-                .round_starts
-                .front()
-                .is_some_and(|(round, _)| *round <= confirmed)
-            {
-                let (_, start) = self.round_starts.pop_front().expect("front checked");
+            while let Some(&(round, start)) = self.round_starts.front() {
+                if round > confirmed {
+                    break;
+                }
+                self.round_starts.pop_front();
                 let until = start + lease;
                 if until > self.lease_until {
                     self.lease_until = until;
@@ -900,7 +903,9 @@ impl Node {
             // answered, whatever else happened (step-down already fails
             // the queue; this guards re-election into a new term).
             if self.role != Role::Leader || front.term != self.current_term {
-                let stale = self.pending_reads.pop_front().expect("front checked");
+                let Some(stale) = self.pending_reads.pop_front() else {
+                    break;
+                };
                 self.metrics.reads_failed += stale.queries.len() as u64;
                 out.push(Action::ReadFailed {
                     batch: stale.batch,
@@ -915,7 +920,9 @@ impl Node {
             {
                 return; // FIFO: later batches can only be later-ready
             }
-            let ready = self.pending_reads.pop_front().expect("front checked");
+            let Some(ready) = self.pending_reads.pop_front() else {
+                break;
+            };
             let results: Vec<Bytes> = ready
                 .queries
                 .iter()
@@ -1048,6 +1055,7 @@ impl Node {
     pub(super) fn persist_hard_state(&mut self) {
         self.storage
             .persist_hard_state(self.current_term, self.voted_for)
+            // lint:allow(panic): fail-stop by design — see the module note above
             .expect("storage failed to persist term/vote");
         self.storage_dirty = true;
     }
@@ -1057,10 +1065,12 @@ impl Node {
         let entry = self
             .log
             .entry(self.log.last_index())
+            // lint:allow(panic): caller appended this entry in the same action
             .expect("tail entry just appended")
             .clone();
         self.storage
             .persist_entry(&entry)
+            // lint:allow(panic): fail-stop by design — see the module note above
             .expect("storage failed to persist log entry");
         self.storage_dirty = true;
     }
@@ -1075,6 +1085,7 @@ impl Node {
         let entries = self.log.entries_from(from, count);
         self.storage
             .persist_entries(&entries)
+            // lint:allow(panic): fail-stop by design — see the module note above
             .expect("storage failed to persist log entries");
         self.storage_dirty = true;
     }
@@ -1088,6 +1099,7 @@ impl Node {
     ) {
         self.storage
             .persist_appended(prev_index, prev_term, entries)
+            // lint:allow(panic): fail-stop by design — see the module note above
             .expect("storage failed to persist appended entries");
         self.storage_dirty = true;
     }
@@ -1098,6 +1110,7 @@ impl Node {
         if let Some(config) = self.policy.current_config() {
             self.storage
                 .persist_config(config)
+                // lint:allow(panic): fail-stop by design — see the module note above
                 .expect("storage failed to persist configuration");
             self.storage_dirty = true;
         }
@@ -1110,6 +1123,7 @@ impl Node {
         let tail = self.log.entries_from(index, usize::MAX);
         self.storage
             .persist_snapshot(index, term, data, &tail)
+            // lint:allow(panic): fail-stop by design — see the module note above
             .expect("storage failed to persist snapshot");
         self.storage_dirty = true;
     }
@@ -1118,6 +1132,7 @@ impl Node {
     /// point returns, so returned actions imply durable state.
     fn sync_storage(&mut self) {
         if self.storage_dirty {
+            // lint:allow(panic): fail-stop by design — see the module note above
             self.storage.sync().expect("storage failed to sync");
             self.storage_dirty = false;
         }

@@ -43,6 +43,7 @@ impl Node {
         // Index loop: `send` needs `&mut self`, and cloning the peer list
         // on every heartbeat was a measurable per-round allocation.
         for i in 0..self.peers.len() {
+            // lint:allow(panic): i < peers.len() by the loop bound
             let peer = self.peers[i];
             let before = out.len();
             self.pump_peer(peer, Some(broadcast), out);
@@ -60,6 +61,7 @@ impl Node {
         let broadcast = self.next_broadcast_id();
         self.note_round(broadcast, now, out);
         for i in 0..self.peers.len() {
+            // lint:allow(panic): i < peers.len() by the loop bound
             let peer = self.peers[i];
             self.send_heartbeat(peer, Some(broadcast), out);
         }
@@ -78,6 +80,7 @@ impl Node {
         let broadcast = self.next_broadcast_id();
         self.note_round(broadcast, now, out);
         for i in 0..self.peers.len() {
+            // lint:allow(panic): i < peers.len() by the loop bound
             let peer = self.peers[i];
             self.pump_peer(peer, Some(broadcast), out);
         }
@@ -119,6 +122,7 @@ impl Node {
                     entries,
                 } => {
                     debug_assert!(!entries.is_empty(), "next <= last implies entries");
+                    // lint:allow(panic): next <= last implies entries (debug_assert above)
                     let sent_through = entries.last().expect("non-empty").index;
                     let args = AppendEntriesArgs {
                         term: self.current_term,
@@ -211,6 +215,7 @@ impl Node {
                 term: self.current_term,
                 match_hint: self.log.last_index(),
             };
+            // lint:allow(write-before-send): term-mismatch refusal mutates nothing durable
             self.send(from, Message::InstallSnapshotReply(reply), None, out);
             return;
         }
@@ -303,6 +308,7 @@ impl Node {
         let term = self
             .log
             .term_at(index)
+            // lint:allow(panic): last_applied <= commit <= last, entries retained until compaction
             .expect("applied entries are present");
         self.log.compact_to(index);
         self.persist_snapshot(index, term, &data);
@@ -328,6 +334,7 @@ impl Node {
                 status: None,
                 seq: 0, // a refusal acknowledges no round
             };
+            // lint:allow(write-before-send): term-mismatch refusal mutates nothing durable
             self.send(from, Message::AppendEntriesReply(reply), None, out);
             return;
         }
@@ -536,6 +543,7 @@ impl Node {
             let entry = self
                 .log
                 .entry(index)
+                // lint:allow(panic): commit_index never passes the log tail
                 .expect("committed entries are present")
                 .clone();
             self.last_applied = index;

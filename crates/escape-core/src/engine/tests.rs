@@ -800,8 +800,8 @@ struct TracingStorage {
     calls: std::rc::Rc<std::cell::RefCell<Vec<String>>>,
 }
 
-// The engine requires `Send`; the Rc never actually crosses threads in
-// these single-threaded tests.
+// SAFETY: the engine requires `Send`; the Rc never actually crosses
+// threads in these single-threaded tests.
 #[allow(unsafe_code)]
 unsafe impl Send for TracingStorage {}
 

@@ -242,6 +242,7 @@ impl Log {
                     truncated: 0,
                 };
             }
+            // lint:allow(panic): the early return above guarantees skip < entries.len()
             return self.try_append(self.snapshot_index, self.snapshot_term, &entries[skip..]);
         }
         match self.term_at(prev_log_index) {
@@ -290,6 +291,7 @@ impl Log {
             self.snapshot_index,
             self.last_index()
         );
+        // lint:allow(panic): the assert above pins index inside the retained range
         let term = self.term_at(index).expect("compaction point present");
         let keep_from = (index.get() - self.snapshot_index.get()) as usize;
         self.entries.drain(..keep_from);

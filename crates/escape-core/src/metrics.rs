@@ -120,6 +120,7 @@ impl NodeMetrics {
             .iter()
             .position(|&bound| commands as u64 <= bound)
             .unwrap_or(BATCH_SIZE_BOUNDS.len());
+        // lint:allow(panic): slot <= BOUNDS.len(), histogram holds len + 1 slots
         self.batch_size_histogram[slot] += 1;
     }
 
@@ -130,6 +131,7 @@ impl NodeMetrics {
             .iter()
             .position(|&bound| micros <= bound)
             .unwrap_or(COMMIT_LATENCY_BOUNDS_MICROS.len());
+        // lint:allow(panic): slot <= BOUNDS.len(), histogram holds len + 1 slots
         self.commit_latency_histogram[slot] += 1;
         self.commit_latency_total_micros += micros;
         self.commits_timed += 1;

@@ -252,12 +252,14 @@ impl EscapePolicy {
         // comparator itself does no lookups (this runs every heartbeat).
         patrol.order.clear();
         for (slot, id) in patrol.followers.iter().enumerate() {
+            // lint:allow(panic): slot indexes the followers-parallel arrays (same length by construction)
             let rec = patrol.records[slot];
             let responsive = rec.is_some_and(|r| {
                 round.saturating_sub(r.last_heard_round) <= Self::STALENESS_ROUNDS
             });
             // Bucketed responsiveness: ignore sub-tolerance jitter.
             let bucket = rec.map_or(0, |r| r.log_index.get() / tolerance);
+            // lint:allow(panic): slot indexes the followers-parallel arrays (same length by construction)
             let prev_priority = patrol.assignment[slot].map_or(0, |p| p.get());
             patrol.order.push((
                 (
@@ -281,7 +283,9 @@ impl EscapePolicy {
         // missed it can still catch up. (`clock_every_round` disables the
         // thrift for ablation.)
         let unchanged = patrol.has_assignment
+            // lint:allow(panic): pool_len <= followers.len() == order.len() after rearrange
             && patrol.order[..pool_len].iter().enumerate().all(|(rank, &(_, slot))| {
+                // lint:allow(panic): slot indexes the followers-parallel arrays (same length by construction)
                 patrol.assignment[slot as usize] == Some(pool_priority(rank))
             });
         if unchanged && !clock_every_round {
@@ -292,7 +296,9 @@ impl EscapePolicy {
         let clock = patrol.issuing_clock;
         patrol.assigned_clock = clock;
         patrol.assignment.fill(None);
+        // lint:allow(panic): pool_len <= followers.len() == order.len() after rearrange
         for (rank, &(_, slot)) in patrol.order[..pool_len].iter().enumerate() {
+            // lint:allow(panic): slot indexes the followers-parallel arrays (same length by construction)
             patrol.assignment[slot as usize] = Some(pool_priority(rank));
         }
         patrol.has_assignment = true;
@@ -372,6 +378,7 @@ impl ElectionPolicy for EscapePolicy {
             let Some(slot) = patrol.slot(from) else {
                 return; // not a patrolled follower
             };
+            // lint:allow(panic): slot indexes the followers-parallel arrays (same length by construction)
             patrol.records[slot] = Some(FollowerRecord {
                 log_index: status.log_index,
                 conf_clock: status.conf_clock,
@@ -391,6 +398,7 @@ impl ElectionPolicy for EscapePolicy {
 
     fn config_for(&mut self, follower: ServerId) -> Option<Configuration> {
         let patrol = self.patrol.as_ref()?;
+        // lint:allow(panic): slot indexes the followers-parallel arrays (same length by construction)
         let priority = patrol.assignment[patrol.slot(follower)?]?;
         Some(self.params.configuration_for(priority, patrol.assigned_clock))
     }

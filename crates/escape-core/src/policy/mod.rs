@@ -65,6 +65,7 @@ impl ScriptedTimeouts {
 
 impl TimeoutSource for ScriptedTimeouts {
     fn next_timeout(&mut self) -> Duration {
+        // lint:allow(panic): index clamped to len - 1; constructor asserts non-empty
         let d = self.schedule[self.position.min(self.schedule.len() - 1)];
         self.position += 1;
         d

@@ -100,15 +100,18 @@ impl Xoshiro256 {
 
 impl Rng64 for Xoshiro256 {
     fn next_u64(&mut self) -> u64 {
-        let s = &mut self.s;
-        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
-        let t = s[1] << 17;
-        s[2] ^= s[0];
-        s[3] ^= s[1];
-        s[1] ^= s[2];
-        s[0] ^= s[3];
-        s[2] ^= t;
-        s[3] = s[3].rotate_left(45);
+        // Destructured so the state updates are plain local arithmetic —
+        // no index expressions in the hot path.
+        let [mut s0, mut s1, mut s2, mut s3] = self.s;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
         result
     }
 }

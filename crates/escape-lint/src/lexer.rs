@@ -1,0 +1,641 @@
+//! A minimal Rust lexer: enough structure to enforce the workspace
+//! invariants, nothing more.
+//!
+//! Two passes over the raw source:
+//!
+//! 1. **Masking** — comments, string/char literals are blanked to spaces
+//!    (newlines preserved, so byte offsets and line numbers survive).
+//!    While masking, line comments are harvested for `lint:allow(...)`
+//!    waivers and `SAFETY:` annotations.
+//! 2. **Tokenizing** — the masked text is split into identifier, number,
+//!    and single-character punctuation tokens, each carrying its byte
+//!    span and line.
+//!
+//! On top of the token stream the lexer tracks brace pairs, `fn` bodies,
+//! and `#[test]` / `#[cfg(test)]` regions, which is all the rule passes
+//! need. The grammar subset is deliberately small: it covers the Rust
+//! this workspace writes (no const-generic brace expressions, no macros
+//! defining items the rules care about).
+
+use std::collections::BTreeMap;
+
+/// One token of the masked source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: usize,
+    /// Classification.
+    pub kind: TokenKind,
+}
+
+/// Token classification — only as fine as the rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `[A-Za-z_][A-Za-z0-9_]*` — keywords included.
+    Ident,
+    /// A numeric literal (integer or float, any base).
+    Number,
+    /// A single punctuation byte.
+    Punct(u8),
+}
+
+/// A `// lint:allow(<rule>): <reason>` waiver found during masking.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// 1-based line the waiver comment sits on.
+    pub line: usize,
+    /// The rule key inside the parentheses, e.g. `panic`.
+    pub rule: String,
+    /// Whether a non-empty reason follows the closing `):`.
+    pub has_reason: bool,
+}
+
+/// A function item: its name and (if present) body byte span.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// The identifier after `fn`.
+    pub name: String,
+    /// Byte offset of the `fn` keyword.
+    pub start: usize,
+    /// `(open_brace, close_brace)` byte offsets of the body, if the
+    /// function has one (trait-method declarations do not).
+    pub body: Option<(usize, usize)>,
+}
+
+/// A fully lexed source file plus the structure the rules consume.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Display path (workspace-relative where possible).
+    pub path: String,
+    /// The crate this file belongs to (e.g. `escape-core`).
+    pub crate_name: String,
+    /// Original text.
+    pub text: String,
+    /// Same length as `text`, with comments and literals blanked.
+    pub masked: Vec<u8>,
+    /// Token stream over `masked`.
+    pub tokens: Vec<Token>,
+    /// Waivers by line (at most one per line — one line comment per line).
+    pub waivers: BTreeMap<usize, Waiver>,
+    /// Lines whose comment carries a `SAFETY:` annotation.
+    pub safety_lines: Vec<usize>,
+    /// `{`→`}` byte-offset pairs, innermost discoverable by scanning.
+    pub brace_pairs: Vec<(usize, usize)>,
+    /// Every `fn` item in the file.
+    pub functions: Vec<Function>,
+    /// Byte spans of `#[test]` items and `#[cfg(test)]`-gated items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// True when the whole file is test code (`tests.rs`, `tests/` dirs).
+    pub all_test: bool,
+}
+
+impl SourceFile {
+    /// Lexes `text` as the file `path` belonging to `crate_name`.
+    pub fn parse(path: &str, crate_name: &str, text: &str) -> SourceFile {
+        let all_test = path.ends_with("/tests.rs")
+            || path.ends_with("\\tests.rs")
+            || path.contains("/tests/")
+            || path.ends_with("/test_util.rs");
+        let (masked, waivers, safety_lines) = mask(text);
+        let tokens = tokenize(&masked);
+        let brace_pairs = match_braces(&masked);
+        let functions = find_functions(&masked, &tokens, &brace_pairs);
+        let test_regions = find_test_regions(&masked, &tokens, &brace_pairs);
+        SourceFile {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            text: text.to_string(),
+            masked,
+            tokens,
+            waivers,
+            safety_lines,
+            brace_pairs,
+            functions,
+            test_regions,
+            all_test,
+        }
+    }
+
+    /// The masked text of one token.
+    pub fn tok_str(&self, tok: &Token) -> &str {
+        // Masked bytes are a byte-for-byte copy of valid UTF-8 with some
+        // bytes replaced by ASCII spaces, so slicing on token boundaries
+        // (which never split a multi-byte char: idents/numbers/puncts are
+        // ASCII) stays valid UTF-8.
+        std::str::from_utf8(&self.masked[tok.start..tok.end]).unwrap_or("")
+    }
+
+    /// Is `offset` inside test-only code?
+    pub fn is_test_code(&self, offset: usize) -> bool {
+        self.all_test
+            || self
+                .test_regions
+                .iter()
+                .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// The innermost function whose body contains `offset`.
+    pub fn enclosing_fn(&self, offset: usize) -> Option<&Function> {
+        self.functions
+            .iter()
+            .filter(|f| {
+                f.body
+                    .is_some_and(|(open, close)| offset >= open && offset <= close)
+            })
+            .min_by_key(|f| {
+                let (open, close) = f.body.unwrap_or((0, usize::MAX));
+                close - open
+            })
+    }
+
+    /// The innermost `{..}` block containing `offset`, as byte offsets.
+    pub fn enclosing_block(&self, offset: usize) -> Option<(usize, usize)> {
+        self.brace_pairs
+            .iter()
+            .filter(|&&(open, close)| offset > open && offset < close)
+            .min_by_key(|&&(open, close)| close - open)
+            .copied()
+    }
+
+    /// 1-based line of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        1 + self.text.as_bytes()[..offset.min(self.text.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+    }
+}
+
+/// Pass 1: blanks comments and literals, harvesting waivers and SAFETY
+/// annotations from comments as it goes.
+fn mask(text: &str) -> (Vec<u8>, BTreeMap<usize, Waiver>, Vec<usize>) {
+    let bytes = text.as_bytes();
+    let n = bytes.len();
+    let mut out = bytes.to_vec();
+    let mut waivers = BTreeMap::new();
+    let mut safety_lines = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+
+    // Blanks out[a..b], preserving newlines, bumping `line` past them.
+    fn blank(out: &mut [u8], a: usize, b: usize, line: &mut usize) {
+        for slot in out.iter_mut().take(b).skip(a) {
+            if *slot == b'\n' {
+                *line += 1;
+            } else {
+                *slot = b' ';
+            }
+        }
+    }
+
+    while i < n {
+        let c = bytes[i];
+        let prev = if i == 0 { b' ' } else { bytes[i - 1] };
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+            // Line comment (incl. doc comments).
+            let mut j = i;
+            while j < n && bytes[j] != b'\n' {
+                j += 1;
+            }
+            let comment = &text[i..j];
+            if comment.contains("SAFETY:") {
+                safety_lines.push(line);
+            }
+            if let Some(w) = parse_waiver(comment, line) {
+                waivers.insert(line, w);
+            }
+            blank(&mut out, i, j, &mut line);
+            i = j;
+        } else if c == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+            // Block comment, nestable.
+            let start = i;
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if bytes[j] == b'/' && j + 1 < n && bytes[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == b'*' && j + 1 < n && bytes[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            if text[start..j].contains("SAFETY:") {
+                safety_lines.push(line);
+            }
+            blank(&mut out, start, j, &mut line);
+            i = j;
+        } else if c == b'"' {
+            // String literal (plain or the tail of a b"..." — the `b`
+            // prefix stays behind as a harmless ident).
+            let j = scan_string(bytes, i);
+            blank(&mut out, i, j, &mut line);
+            i = j;
+        } else if (c == b'r' || c == b'b')
+            && !is_ident_byte(prev)
+            && is_raw_or_byte_prefix(bytes, i)
+        {
+            let j = scan_prefixed_literal(bytes, i);
+            blank(&mut out, i, j, &mut line);
+            i = j;
+        } else if c == b'\'' {
+            // Char literal vs lifetime/loop label.
+            if let Some(j) = scan_char_literal(bytes, i) {
+                blank(&mut out, i, j, &mut line);
+                i = j;
+            } else {
+                i += 1; // lifetime: leave the quote as punctuation
+            }
+        } else {
+            i += 1;
+        }
+    }
+    (out, waivers, safety_lines)
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Does `bytes[i..]` start a raw/byte string prefix (`r"`, `r#`, `b"`,
+/// `b'`, `br"`, `br#`)?
+fn is_raw_or_byte_prefix(bytes: &[u8], i: usize) -> bool {
+    let rest = &bytes[i..];
+    match rest.first() {
+        Some(b'r') => matches!(rest.get(1), Some(b'"') | Some(b'#')),
+        Some(b'b') => match rest.get(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(rest.get(2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Scans a `"..."` with escapes, returning the offset past the close.
+fn scan_string(bytes: &[u8], open: usize) -> usize {
+    let n = bytes.len();
+    let mut j = open + 1;
+    while j < n {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Scans a prefixed literal starting at `r`/`b`: raw strings (any number
+/// of `#`s), byte strings, byte chars. Returns the offset past the end.
+fn scan_prefixed_literal(bytes: &[u8], start: usize) -> usize {
+    let n = bytes.len();
+    let mut j = start;
+    let mut raw = false;
+    while j < n && (bytes[j] == b'r' || bytes[j] == b'b') {
+        raw |= bytes[j] == b'r';
+        j += 1;
+    }
+    if !raw {
+        // b"..." or b'.'
+        if bytes.get(j) == Some(&b'\'') {
+            return scan_char_literal(bytes, j).unwrap_or(j + 1);
+        }
+        return scan_string(bytes, j);
+    }
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return j; // `r#ident` raw identifier, not a string
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` `#`s; no escapes in raw strings.
+    while j < n {
+        if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0;
+            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    n
+}
+
+/// Scans a char literal at a `'`, or `None` if this quote starts a
+/// lifetime / loop label.
+fn scan_char_literal(bytes: &[u8], open: usize) -> Option<usize> {
+    let n = bytes.len();
+    match bytes.get(open + 1) {
+        Some(b'\\') => {
+            // Escaped char: scan to the closing quote.
+            let mut j = open + 2;
+            while j < n {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'\'' => return Some(j + 1),
+                    _ => j += 1,
+                }
+            }
+            Some(n)
+        }
+        Some(&c) if c != b'\'' => {
+            // `'x'` is a char; `'x` (no close) is a lifetime. Multi-byte
+            // UTF-8 chars: find the next quote within 5 bytes.
+            let mut j = open + 1 + utf8_len(c);
+            if bytes.get(j) == Some(&b'\'') {
+                j += 1;
+                // `'a'` could still be a lifetime in `<'a'...`? No —
+                // lifetimes are never immediately followed by `'`.
+                Some(j)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first < 0x80 {
+        1
+    } else if first < 0xE0 {
+        2
+    } else if first < 0xF0 {
+        3
+    } else {
+        4
+    }
+}
+
+/// Parses a waiver out of a line comment. The directive must open the
+/// comment (`// lint:allow(<rule>): <reason>`) — mid-sentence mentions
+/// of the syntax (like this one) are prose, not waivers.
+fn parse_waiver(comment: &str, line: usize) -> Option<Waiver> {
+    let content = comment.trim_start_matches('/').trim_start_matches('!').trim_start();
+    let rest = content.strip_prefix("lint:allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start();
+    let has_reason = tail
+        .strip_prefix(':')
+        .map(|r| !r.trim().is_empty())
+        .unwrap_or(false);
+    Some(Waiver {
+        line,
+        rule,
+        has_reason,
+    })
+}
+
+/// Pass 2: tokenizes the masked text.
+fn tokenize(masked: &[u8]) -> Vec<Token> {
+    let n = masked.len();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < n {
+        let c = masked[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == b'_' || c.is_ascii_alphabetic() {
+            let start = i;
+            while i < n && is_ident_byte(masked[i]) {
+                i += 1;
+            }
+            tokens.push(Token {
+                start,
+                end: i,
+                line,
+                kind: TokenKind::Ident,
+            });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (is_ident_byte(masked[i])) {
+                i += 1;
+            }
+            // Float continuation: `1.5`, `1.5e3` (but not `1.method()` —
+            // requires a digit right after the dot).
+            if i + 1 < n
+                && masked[i] == b'.'
+                && masked[i + 1].is_ascii_digit()
+            {
+                i += 1;
+                while i < n && is_ident_byte(masked[i]) {
+                    i += 1;
+                }
+            }
+            tokens.push(Token {
+                start,
+                end: i,
+                line,
+                kind: TokenKind::Number,
+            });
+        } else if c < 0x80 {
+            tokens.push(Token {
+                start: i,
+                end: i + 1,
+                line,
+                kind: TokenKind::Punct(c),
+            });
+            i += 1;
+        } else {
+            // Multi-byte char outside a literal (shouldn't happen in this
+            // codebase) — skip it whole.
+            i += utf8_len(c);
+        }
+    }
+    tokens
+}
+
+/// Matches `{`/`}` pairs over the masked text.
+fn match_braces(masked: &[u8]) -> Vec<(usize, usize)> {
+    let mut stack = Vec::new();
+    let mut pairs = Vec::new();
+    for (i, &b) in masked.iter().enumerate() {
+        if b == b'{' {
+            stack.push(i);
+        } else if b == b'}' {
+            if let Some(open) = stack.pop() {
+                pairs.push((open, i));
+            }
+        }
+    }
+    pairs
+}
+
+/// Finds the matching close brace for an open brace byte offset.
+fn close_of(brace_pairs: &[(usize, usize)], open: usize) -> Option<usize> {
+    brace_pairs
+        .iter()
+        .find(|&&(o, _)| o == open)
+        .map(|&(_, c)| c)
+}
+
+/// Scans for `fn` items and resolves each one's body span.
+fn find_functions(
+    masked: &[u8],
+    tokens: &[Token],
+    brace_pairs: &[(usize, usize)],
+) -> Vec<Function> {
+    let mut functions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_fn = tokens[i].kind == TokenKind::Ident
+            && &masked[tokens[i].start..tokens[i].end] == b"fn";
+        if is_fn {
+            // `fn` in a type position (`fn(u8) -> u8`) has `(` next, not
+            // a name; skip those.
+            if let Some(name_tok) = tokens.get(i + 1) {
+                if name_tok.kind == TokenKind::Ident {
+                    let name = String::from_utf8_lossy(
+                        &masked[name_tok.start..name_tok.end],
+                    )
+                    .into_owned();
+                    let body = find_body(tokens, i + 2, brace_pairs);
+                    functions.push(Function {
+                        name,
+                        start: tokens[i].start,
+                        body,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    functions
+}
+
+/// From token index `from`, finds the first `{` at paren/bracket depth 0
+/// (the body open) or a `;` (no body).
+fn find_body(
+    tokens: &[Token],
+    from: usize,
+    brace_pairs: &[(usize, usize)],
+) -> Option<(usize, usize)> {
+    let mut depth: i32 = 0;
+    for tok in tokens.iter().skip(from) {
+        match tok.kind {
+            TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => depth += 1,
+            TokenKind::Punct(b')') | TokenKind::Punct(b']') => depth -= 1,
+            TokenKind::Punct(b'{') if depth == 0 => {
+                let close = close_of(brace_pairs, tok.start)?;
+                return Some((tok.start, close));
+            }
+            TokenKind::Punct(b';') if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Finds `#[test]`-like and `#[cfg(test)]`-gated item spans.
+///
+/// Any outer attribute whose tokens include the bare ident `test` marks
+/// the following item (through its closing brace or semicolon) as test
+/// code. This covers `#[test]`, `#[cfg(test)]`, and
+/// `#[cfg(any(test, ...))]`; string values inside attributes are masked,
+/// so `#[doc = "test"]` cannot false-positive.
+fn find_test_regions(
+    masked: &[u8],
+    tokens: &[Token],
+    brace_pairs: &[(usize, usize)],
+) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind != TokenKind::Punct(b'#') {
+            i += 1;
+            continue;
+        }
+        // `#![...]` inner attributes configure the enclosing item — skip.
+        if matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct(b'!')) {
+            i += 2;
+            continue;
+        }
+        if !matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct(b'[')) {
+            i += 1;
+            continue;
+        }
+        let attr_start = tokens[i].start;
+        let (attr_is_test, after_attr) = scan_attr(masked, tokens, i + 2);
+        let mut j = after_attr;
+        let mut is_test = attr_is_test;
+        // Fold in any further attributes stacked on the same item.
+        while matches!(tokens.get(j), Some(t) if t.kind == TokenKind::Punct(b'#'))
+            && matches!(tokens.get(j + 1), Some(t) if t.kind == TokenKind::Punct(b'['))
+        {
+            let (more, next) = scan_attr(masked, tokens, j + 2);
+            is_test |= more;
+            j = next;
+        }
+        if !is_test {
+            i = j.max(i + 1);
+            continue;
+        }
+        // The item body: first `{` at paren/bracket depth 0, or `;`.
+        let mut depth: i32 = 0;
+        let mut end = None;
+        for tok in tokens.iter().skip(j) {
+            match tok.kind {
+                TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => depth += 1,
+                TokenKind::Punct(b')') | TokenKind::Punct(b']') => depth -= 1,
+                TokenKind::Punct(b'{') if depth == 0 => {
+                    end = close_of(brace_pairs, tok.start).map(|c| c + 1);
+                    break;
+                }
+                TokenKind::Punct(b';') if depth == 0 => {
+                    end = Some(tok.end);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if let Some(end) = end {
+            regions.push((attr_start, end));
+        }
+        i = j.max(i + 1);
+    }
+    regions
+}
+
+/// Scans one attribute's bracket group starting at the token index just
+/// inside `#[`. Returns (contains bare ident `test`, token index past the
+/// closing `]`).
+fn scan_attr(masked: &[u8], tokens: &[Token], from: usize) -> (bool, usize) {
+    let mut depth = 1;
+    let mut j = from;
+    let mut is_test = false;
+    while j < tokens.len() && depth > 0 {
+        match tokens[j].kind {
+            TokenKind::Punct(b'[') => depth += 1,
+            TokenKind::Punct(b']') => depth -= 1,
+            TokenKind::Ident if &masked[tokens[j].start..tokens[j].end] == b"test" => {
+                is_test = true;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (is_test, j)
+}

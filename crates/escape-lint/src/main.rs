@@ -1,0 +1,43 @@
+//! The `escape-lint` binary: walks `crates/*/src` under the given root
+//! (default: the current directory), prints file:line diagnostics plus
+//! the per-rule violation/waiver summary, and exits nonzero when any
+//! unwaived violation remains. CI runs this as a tier-1 gate next to
+//! clippy.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let root = match args.next() {
+        Some(flag) if flag == "--help" || flag == "-h" => {
+            println!(
+                "usage: escape-lint [WORKSPACE_ROOT]\n\n\
+                 Checks the ESCAPE workspace invariants (panic-freedom, \
+                 deterministic time, write-before-send, lock discipline, wire \
+                 exhaustiveness, unsafe hygiene) over crates/*/src.\n\n\
+                 Waive a finding with `// lint:allow(<rule>): <reason>` on the \
+                 offending line; waivers are counted in the summary and must \
+                 each suppress something."
+            );
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => PathBuf::from(path),
+        None => PathBuf::from("."),
+    };
+
+    match escape_lint::run_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("escape-lint: cannot walk {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Findings, waiver application, and the per-rule summary.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::lexer::SourceFile;
+
+/// The enforced rules. `Waiver` is the meta-rule policing the waivers
+/// themselves (malformed or unused ones) and cannot itself be waived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No `unwrap`/`expect`/panicking macros/unchecked indexing in
+    /// non-test code of the safety-critical crates.
+    Panic,
+    /// No `Instant::now`/`SystemTime::now` outside the clock module.
+    Time,
+    /// Engine functions persist before they stage sends.
+    WriteBeforeSend,
+    /// No blocking calls under a `parking_lot` guard; acquisition order
+    /// follows the manifest.
+    Lock,
+    /// Every `Message` variant appears in encode, decode, and roundtrip
+    /// tests.
+    Wire,
+    /// Every `unsafe` carries a `SAFETY:` comment; every crate root
+    /// carries `#![deny(unsafe_code)]`.
+    Unsafe,
+    /// Waiver hygiene: waivers must be well-formed and must suppress
+    /// something.
+    Waiver,
+}
+
+/// All rules, in summary order.
+pub const ALL_RULES: [Rule; 7] = [
+    Rule::Panic,
+    Rule::Time,
+    Rule::WriteBeforeSend,
+    Rule::Lock,
+    Rule::Wire,
+    Rule::Unsafe,
+    Rule::Waiver,
+];
+
+impl Rule {
+    /// The key accepted inside `lint:allow(...)`.
+    pub fn key(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Time => "time",
+            Rule::WriteBeforeSend => "write-before-send",
+            Rule::Lock => "lock",
+            Rule::Wire => "wire",
+            Rule::Unsafe => "unsafe",
+            Rule::Waiver => "waiver",
+        }
+    }
+
+    /// Human name for the summary table.
+    pub fn title(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic-freedom",
+            Rule::Time => "deterministic-time",
+            Rule::WriteBeforeSend => "write-before-send",
+            Rule::Lock => "lock-discipline",
+            Rule::Wire => "wire-exhaustiveness",
+            Rule::Unsafe => "unsafe-annotation",
+            Rule::Waiver => "waiver-hygiene",
+        }
+    }
+
+    fn from_key(key: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.key() == key)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.title())
+    }
+}
+
+/// One diagnostic: a rule tripped at a file:line.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub rule: Rule,
+    pub path: String,
+    pub line: usize,
+    pub message: String,
+    /// Set during waiver application.
+    pub waived: bool,
+}
+
+impl Finding {
+    pub fn new(rule: Rule, path: &str, line: usize, message: String) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+            waived: false,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.key(),
+            self.message
+        )
+    }
+}
+
+/// Matches findings against a file's waivers: a finding on line L of
+/// rule R is waived by `// lint:allow(R): reason` on line L, or on line
+/// L−1 (a comment line directly above, for code too long to annotate
+/// inline). Waivers that are malformed (unknown rule, missing reason) or
+/// that suppressed nothing become `Waiver`-rule findings, so stale
+/// annotations cannot accumulate.
+pub fn apply_waivers(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    for finding in findings.iter_mut() {
+        if finding.rule == Rule::Waiver {
+            continue;
+        }
+        for line in [finding.line, finding.line.saturating_sub(1)] {
+            if let Some(waiver) = file.waivers.get(&line) {
+                if waiver.rule == finding.rule.key() && waiver.has_reason {
+                    finding.waived = true;
+                    used.insert(line);
+                    break;
+                }
+            }
+        }
+    }
+    for (line, waiver) in &file.waivers {
+        let message = match Rule::from_key(&waiver.rule) {
+            None => Some(format!(
+                "unknown rule `{}` in lint:allow (expected one of panic, time, \
+                 write-before-send, lock, wire, unsafe)",
+                waiver.rule
+            )),
+            Some(Rule::Waiver) => {
+                Some("the waiver rule cannot itself be waived".to_string())
+            }
+            Some(_) if !waiver.has_reason => Some(format!(
+                "waiver for `{}` lacks a reason — write \
+                 `// lint:allow({}): <why this is safe>`",
+                waiver.rule, waiver.rule
+            )),
+            Some(_) if !used.contains(line) => Some(format!(
+                "unused waiver for `{}` — nothing on this line trips that rule",
+                waiver.rule
+            )),
+            Some(_) => None,
+        };
+        if let Some(message) = message {
+            findings.push(Finding::new(Rule::Waiver, &file.path, *line, message));
+        }
+    }
+}
+
+/// The full lint result across a run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_checked: usize,
+    pub crates_checked: usize,
+}
+
+impl Report {
+    /// Unwaived findings — the ones that fail the build.
+    pub fn violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// True when nothing unwaived remains.
+    pub fn is_clean(&self) -> bool {
+        self.violations().next().is_none()
+    }
+
+    fn count(&self, rule: Rule, waived: bool) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.rule == rule && f.waived == waived)
+            .count()
+    }
+
+    /// Renders diagnostics plus the per-rule violation/waiver table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut sorted: Vec<&Finding> = self.violations().collect();
+        sorted.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        for finding in &sorted {
+            out.push_str(&finding.to_string());
+            out.push('\n');
+        }
+        if !sorted.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "escape-lint: {} files across {} crates\n\n",
+            self.files_checked, self.crates_checked
+        ));
+        out.push_str(&format!(
+            "{:<20} {:>10} {:>8}\n",
+            "rule", "violations", "waived"
+        ));
+        for rule in ALL_RULES {
+            out.push_str(&format!(
+                "{:<20} {:>10} {:>8}\n",
+                rule.title(),
+                self.count(rule, false),
+                self.count(rule, true),
+            ));
+        }
+        let waived_total: usize = self.findings.iter().filter(|f| f.waived).count();
+        let violation_total = self.findings.len() - waived_total;
+        out.push('\n');
+        if violation_total == 0 {
+            out.push_str(&format!(
+                "OK: no unwaived violations ({waived_total} waived)\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "FAIL: {violation_total} unwaived violation(s), {waived_total} waived\n"
+            ));
+        }
+        out
+    }
+}

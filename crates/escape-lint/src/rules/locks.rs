@@ -1,0 +1,313 @@
+//! Rule 4 — lock discipline: no blocking call under a `parking_lot`
+//! guard, and nested acquisitions follow the declared order manifest.
+//!
+//! The mesh's whole latency story rests on "nothing blocks under a peer
+//! lock": a connect or a blocking write while holding `link` would park
+//! every group's `send_frame` to that peer. The checker models guard
+//! lifetimes conservatively: a `let`-bound guard lives to the end of its
+//! enclosing block (or an explicit `drop(guard)`), an unbound temporary
+//! to the end of its statement. Blocking is recognized by method name —
+//! a syntactic heuristic, so a *non-blocking* write on a nonblocking
+//! socket under a guard needs a waiver stating exactly that.
+
+use crate::lexer::{SourceFile, TokenKind};
+use crate::report::{Finding, Rule};
+use crate::rules::{is_ident, is_punct, text, tok};
+
+/// Calls that may block the calling thread.
+const BLOCKING: [&str; 20] = [
+    "write_all",
+    "write_vectored",
+    "write_fmt",
+    "flush",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "connect",
+    "connect_timeout",
+    "accept",
+    "incoming",
+    "join",
+    "recv",
+    "recv_timeout",
+    "send_timeout",
+    "sleep",
+    "sync_all",
+    "sync_data",
+    "wait",
+    "park",
+];
+
+/// A live guard: where it was acquired, where it dies, what it locks.
+struct Guard {
+    acquired_at: usize,
+    scope_end: usize,
+    lock_name: String,
+    line: usize,
+}
+
+pub fn check(file: &SourceFile, manifest: &[String]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &file.tokens;
+    let mut guards: Vec<Guard> = Vec::new();
+
+    // Collect guard acquisitions first (file order == acquisition order
+    // within any one function, which is all the nesting check needs).
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || file.is_test_code(t.start) {
+            continue;
+        }
+        let s = file.tok_str(t);
+        // Zero-argument `.lock()` / `.read()` / `.write()` — the
+        // parking_lot guard constructors. (io::Read/Write::read/write
+        // always take arguments, so zero-arg keeps them out.)
+        let is_acquire = (s == "lock" || s == "read" || s == "write")
+            && i > 0
+            && is_punct(file, i - 1, b'.')
+            && is_punct(file, i + 1, b'(')
+            && is_punct(file, i + 2, b')');
+        if !is_acquire {
+            continue;
+        }
+        let lock_name = receiver_name(file, i - 1);
+        let receiver_start = receiver_start(file, i - 1);
+        // A guard is only *named* when the `.lock()` call itself ends the
+        // initializer (`let g = m.lock();`). With further chaining
+        // (`let v = m.lock().take();`) the guard is a temporary that dies
+        // at the semicolon — only the chained result is bound.
+        let binds_guard = is_punct(file, i + 3, b';');
+        let scope_end = if let Some(name) =
+            binds_guard.then(|| let_binding(file, receiver_start)).flatten()
+        {
+            // Named guard: lives to the end of the enclosing block,
+            // unless an explicit drop(name) cuts it short.
+            let block_end = file
+                .enclosing_block(t.start)
+                .map(|(_, close)| close)
+                .unwrap_or(file.text.len());
+            find_drop(file, t.start, block_end, &name).unwrap_or(block_end)
+        } else {
+            // Temporary: dies at the end of the statement.
+            statement_end(file, i)
+        };
+        guards.push(Guard {
+            acquired_at: t.start,
+            scope_end,
+            lock_name,
+            line: t.line,
+        });
+    }
+
+    // Blocking calls under a live guard.
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || file.is_test_code(t.start) {
+            continue;
+        }
+        let s = file.tok_str(t);
+        let is_call = BLOCKING.contains(&s)
+            && is_punct(file, i + 1, b'(')
+            && i > 0
+            && (is_punct(file, i - 1, b'.') || is_punct(file, i - 1, b':'));
+        if !is_call {
+            continue;
+        }
+        for guard in &guards {
+            if t.start > guard.acquired_at && t.start < guard.scope_end {
+                findings.push(Finding::new(
+                    Rule::Lock,
+                    &file.path,
+                    t.line,
+                    format!(
+                        "{s}() may block while the `{}` guard (line {}) is held — \
+                         restructure to drop the guard first, or waive with why \
+                         this cannot block",
+                        guard.lock_name, guard.line
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Nested acquisition order + manifest membership.
+    for (gi, guard) in guards.iter().enumerate() {
+        if !manifest.iter().any(|m| m == &guard.lock_name) {
+            findings.push(Finding::new(
+                Rule::Lock,
+                &file.path,
+                guard.line,
+                format!(
+                    "lock `{}` is not in the acquisition-order manifest \
+                     (crates/escape-lint/lock_order.txt) — declare where it \
+                     sits in the order",
+                    guard.lock_name
+                ),
+            ));
+        }
+        for outer in &guards[..gi] {
+            let nested = guard.acquired_at > outer.acquired_at
+                && guard.acquired_at < outer.scope_end;
+            if !nested {
+                continue;
+            }
+            let outer_rank = manifest.iter().position(|m| m == &outer.lock_name);
+            let inner_rank = manifest.iter().position(|m| m == &guard.lock_name);
+            let ordered = match (outer_rank, inner_rank) {
+                (Some(o), Some(i)) => o < i,
+                _ => false, // unranked nesting is already reported above
+            };
+            if !ordered {
+                findings.push(Finding::new(
+                    Rule::Lock,
+                    &file.path,
+                    guard.line,
+                    format!(
+                        "`{}` acquired while `{}` (line {}) is held — violates \
+                         the declared acquisition order",
+                        guard.lock_name, outer.lock_name, outer.line
+                    ),
+                ));
+            }
+        }
+    }
+
+    findings
+}
+
+/// Walks the receiver chain backwards from the `.` before `lock` and
+/// names the lock: the nearest field/variable identifier, skipping tuple
+/// indexes and `[...]`/`(...)` groups. `self.peers[&id].1.lock()` names
+/// `peers`; `link.lock()` names `link`.
+fn receiver_name(file: &SourceFile, dot: usize) -> String {
+    let mut i = dot;
+    while i > 0 {
+        i -= 1;
+        match tok(file, i).map(|t| t.kind) {
+            Some(TokenKind::Ident) => {
+                let s = text(file, i);
+                if s == "self" {
+                    break;
+                }
+                return s.to_string();
+            }
+            Some(TokenKind::Number) => {} // tuple index
+            Some(TokenKind::Punct(b'.')) => {}
+            Some(TokenKind::Punct(b']')) => {
+                let mut depth = 1;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    match tok(file, i).map(|t| t.kind) {
+                        Some(TokenKind::Punct(b']')) => depth += 1,
+                        Some(TokenKind::Punct(b'[')) => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            Some(TokenKind::Punct(b')')) => {
+                let mut depth = 1;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    match tok(file, i).map(|t| t.kind) {
+                        Some(TokenKind::Punct(b')')) => depth += 1,
+                        Some(TokenKind::Punct(b'(')) => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    "<unknown>".to_string()
+}
+
+/// Token index where the receiver chain begins (for `let` detection).
+fn receiver_start(file: &SourceFile, dot: usize) -> usize {
+    let mut i = dot;
+    while i > 0 {
+        let prev = i - 1;
+        match tok(file, prev).map(|t| t.kind) {
+            Some(TokenKind::Ident) | Some(TokenKind::Number) => i = prev,
+            Some(TokenKind::Punct(b'.')) => i = prev,
+            Some(TokenKind::Punct(b']')) | Some(TokenKind::Punct(b')')) => {
+                let open = if is_punct(file, prev, b']') { b'[' } else { b'(' };
+                let close = if open == b'[' { b']' } else { b')' };
+                let mut depth = 1;
+                let mut j = prev;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    if is_punct(file, j, close) {
+                        depth += 1;
+                    } else if is_punct(file, j, open) {
+                        depth -= 1;
+                    }
+                }
+                i = j;
+            }
+            Some(TokenKind::Punct(b'&')) | Some(TokenKind::Punct(b'*')) => i = prev,
+            _ => break,
+        }
+    }
+    i
+}
+
+/// If the receiver chain is directly bound by `let [mut] NAME = ...`,
+/// returns NAME.
+fn let_binding(file: &SourceFile, receiver_start: usize) -> Option<String> {
+    if receiver_start < 2 || !is_punct(file, receiver_start - 1, b'=') {
+        return None;
+    }
+    // `==` is a comparison, not a binding.
+    if receiver_start >= 2 && is_punct(file, receiver_start - 2, b'=') {
+        return None;
+    }
+    let name_i = receiver_start - 2;
+    if !is_ident(file, name_i) {
+        return None;
+    }
+    let name = text(file, name_i).to_string();
+    let kw = text(file, name_i.wrapping_sub(1));
+    let kw2 = text(file, name_i.wrapping_sub(2));
+    if kw == "let" || (kw == "mut" && kw2 == "let") {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// Byte offset of an explicit `drop(name)` between `from` and `until`.
+fn find_drop(file: &SourceFile, from: usize, until: usize, name: &str) -> Option<usize> {
+    let toks = &file.tokens;
+    (0..toks.len()).find_map(|i| {
+        let t = &toks[i];
+        (t.start > from
+            && t.start < until
+            && t.kind == TokenKind::Ident
+            && file.tok_str(t) == "drop"
+            && is_punct(file, i + 1, b'(')
+            && text(file, i + 2) == name
+            && is_punct(file, i + 3, b')'))
+        .then_some(t.start)
+    })
+}
+
+/// Byte offset ending the statement containing token `i`: the next `;`
+/// or closing `}` at or above the token's nesting level.
+fn statement_end(file: &SourceFile, i: usize) -> usize {
+    let toks = &file.tokens;
+    let mut depth: i32 = 0;
+    for t in toks.iter().skip(i) {
+        match t.kind {
+            TokenKind::Punct(b'(') | TokenKind::Punct(b'[') | TokenKind::Punct(b'{') => {
+                depth += 1
+            }
+            TokenKind::Punct(b')') | TokenKind::Punct(b']') | TokenKind::Punct(b'}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return t.start;
+                }
+            }
+            TokenKind::Punct(b';') if depth <= 0 => return t.start,
+            _ => {}
+        }
+    }
+    file.text.len()
+}

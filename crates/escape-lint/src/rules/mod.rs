@@ -1,0 +1,62 @@
+//! The rule passes. Each submodule checks one invariant and returns
+//! [`Finding`]s; waiver application happens afterwards in the driver.
+
+pub mod locks;
+pub mod panic;
+pub mod time;
+pub mod unsafety;
+pub mod wbs;
+pub mod wire;
+
+use crate::lexer::{SourceFile, Token, TokenKind};
+
+/// Token text, or `""` out of range.
+pub(crate) fn text(file: &SourceFile, i: usize) -> &str {
+    file.tokens.get(i).map(|t| file.tok_str(t)).unwrap_or("")
+}
+
+/// Is token `i` the punctuation byte `c`?
+pub(crate) fn is_punct(file: &SourceFile, i: usize, c: u8) -> bool {
+    matches!(file.tokens.get(i), Some(t) if t.kind == TokenKind::Punct(c))
+}
+
+/// Is token `i` an identifier?
+pub(crate) fn is_ident(file: &SourceFile, i: usize) -> bool {
+    matches!(file.tokens.get(i), Some(t) if t.kind == TokenKind::Ident)
+}
+
+/// The token at `i`, if any.
+pub(crate) fn tok(file: &SourceFile, i: usize) -> Option<&Token> {
+    file.tokens.get(i)
+}
+
+/// Scans `file`'s tokens within `span` for the sequence
+/// `first :: second` (path reference like `Message::AppendEntries`).
+pub(crate) fn contains_path(
+    file: &SourceFile,
+    span: (usize, usize),
+    first: &str,
+    second: &str,
+) -> bool {
+    let toks = &file.tokens;
+    (0..toks.len()).any(|i| {
+        let t = &toks[i];
+        t.start >= span.0
+            && t.end <= span.1
+            && t.kind == TokenKind::Ident
+            && file.tok_str(t) == first
+            && is_punct(file, i + 1, b':')
+            && is_punct(file, i + 2, b':')
+            && text(file, i + 3) == second
+    })
+}
+
+/// Scans a byte span for a bare identifier.
+pub(crate) fn contains_ident(file: &SourceFile, span: (usize, usize), name: &str) -> bool {
+    file.tokens.iter().any(|t| {
+        t.start >= span.0
+            && t.end <= span.1
+            && t.kind == TokenKind::Ident
+            && file.tok_str(t) == name
+    })
+}

@@ -1,0 +1,47 @@
+//! Rule 2 — deterministic time: `Instant::now()` / `SystemTime::now()`
+//! are forbidden outside the designated clock module.
+//!
+//! Everything the engine decides is a function of the logical `Time` it
+//! is handed; the simulator replays histories deterministically because
+//! of it, and the leader-lease safety argument depends on every
+//! wall-clock read flowing through one auditable choke point
+//! (`escape-transport::clock`). A stray `Instant::now()` re-introduces
+//! ambient time and silently invalidates both.
+
+use crate::lexer::SourceFile;
+use crate::report::{Finding, Rule};
+use crate::rules::{is_punct, text};
+
+/// Files allowed to touch the machine clock directly.
+pub const CLOCK_MODULES: [&str; 1] = ["crates/escape-transport/src/clock.rs"];
+
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if CLOCK_MODULES.iter().any(|m| file.path.ends_with(m)) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if file.is_test_code(t.start) {
+            continue;
+        }
+        let s = file.tok_str(t);
+        if (s == "Instant" || s == "SystemTime")
+            && is_punct(file, i + 1, b':')
+            && is_punct(file, i + 2, b':')
+            && text(file, i + 3) == "now"
+        {
+            findings.push(Finding::new(
+                Rule::Time,
+                &file.path,
+                t.line,
+                format!(
+                    "{s}::now() outside the clock module — route through \
+                     escape_transport::clock, or waive where wall-clock output \
+                     is the point"
+                ),
+            ));
+        }
+    }
+    findings
+}

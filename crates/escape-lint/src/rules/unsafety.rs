@@ -1,0 +1,57 @@
+//! Unsafe hygiene: every `unsafe` token (test code included) must carry
+//! a `SAFETY:` comment on the same line or within the three lines above
+//! it, and every crate root must declare `#![deny(unsafe_code)]` so new
+//! unsafe can only enter deliberately (`#[allow(unsafe_code)]` at the
+//! site — which this rule then forces to justify).
+
+use crate::lexer::{SourceFile, TokenKind};
+use crate::report::{Finding, Rule};
+use crate::rules::{is_punct, text};
+
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for t in &file.tokens {
+        if t.kind != TokenKind::Ident || file.tok_str(t) != "unsafe" {
+            continue;
+        }
+        let line = t.line;
+        let annotated = file
+            .safety_lines
+            .iter()
+            .any(|&sl| sl <= line && line.saturating_sub(sl) <= 3);
+        if !annotated {
+            findings.push(Finding::new(
+                Rule::Unsafe,
+                &file.path,
+                line,
+                "`unsafe` without a `// SAFETY:` comment (same line or the three \
+                 lines above)"
+                    .to_string(),
+            ));
+        }
+    }
+    findings
+}
+
+/// Crate-root check: `lib.rs` must carry `#![deny(unsafe_code)]`.
+pub fn check_crate_root(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.tokens;
+    let denies = (0..toks.len()).any(|i| {
+        is_punct(file, i, b'#')
+            && is_punct(file, i + 1, b'!')
+            && is_punct(file, i + 2, b'[')
+            && text(file, i + 3) == "deny"
+            && is_punct(file, i + 4, b'(')
+            && text(file, i + 5) == "unsafe_code"
+    });
+    if denies {
+        Vec::new()
+    } else {
+        vec![Finding::new(
+            Rule::Unsafe,
+            &file.path,
+            1,
+            "crate root lacks `#![deny(unsafe_code)]`".to_string(),
+        )]
+    }
+}

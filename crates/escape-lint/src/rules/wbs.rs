@@ -1,0 +1,138 @@
+//! Rule 3 — write-before-send: engine functions persist before they
+//! stage outbound messages.
+//!
+//! The durability argument from PR 2: a node must never tell a peer
+//! about state it could forget in a crash. In the sans-IO engine that
+//! means any function that calls a `persist_*` helper must make that
+//! call at a byte offset *before* any send-staging call. The check is a
+//! heuristic over source order (good enough because the engine stages
+//! sends linearly — no callbacks), with a waiver escape hatch for the
+//! refusal paths that reply without mutating anything.
+//!
+//! A second sub-check pins the hard-state invariant directly: an
+//! assignment to `current_term` or `voted_for` must be followed (same
+//! function) by a `persist_hard_state` call — double-voting after a
+//! restart is the one mistake Raft never forgives.
+
+use crate::lexer::SourceFile;
+use crate::report::{Finding, Rule};
+use crate::rules::{is_punct, text};
+
+/// Durability helpers — reaching storage through anything else is new
+/// code the lint should be taught about.
+const PERSIST: [&str; 7] = [
+    "persist_hard_state",
+    "persist_last_entry",
+    "persist_tail_entries",
+    "persist_appended",
+    "persist_current_config",
+    "persist_snapshot",
+    "sync_storage",
+];
+
+/// Calls that stage outbound messages onto the action list.
+const STAGE: [&str; 6] = [
+    "send",
+    "send_heartbeat",
+    "heartbeat_round",
+    "pump_peer",
+    "flush_replication",
+    "confirm_round",
+];
+
+/// Only the engine proper is in scope.
+fn in_scope(file: &SourceFile) -> bool {
+    file.crate_name == "escape-core" && file.path.contains("/engine/")
+}
+
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if !in_scope(file) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for func in &file.functions {
+        let Some((open, close)) = func.body else { continue };
+        if file.is_test_code(func.start) {
+            continue;
+        }
+        let mut persists: Vec<usize> = Vec::new(); // byte offsets
+        let mut stages: Vec<(usize, usize)> = Vec::new(); // (offset, line)
+        let mut hard_state_writes: Vec<(usize, usize, String)> = Vec::new();
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.start <= open || t.end >= close {
+                continue;
+            }
+            let s = file.tok_str(t);
+            if PERSIST.contains(&s) && is_punct(file, i + 1, b'(') {
+                persists.push(t.start);
+            } else if STAGE.contains(&s)
+                && is_punct(file, i + 1, b'(')
+                && i > 0
+                && is_punct(file, i - 1, b'.')
+                && func.name != s
+            {
+                stages.push((t.start, t.line));
+            } else if s == "Send"
+                && i >= 2
+                && is_punct(file, i - 1, b':')
+                && is_punct(file, i - 2, b':')
+                && text(file, i - 3) == "Action"
+            {
+                // Direct `Action::Send` construction (the `send` helper
+                // itself, or anything bypassing it).
+                stages.push((t.start, t.line));
+            } else if (s == "current_term" || s == "voted_for")
+                && is_punct(file, i + 1, b'=')
+                && !is_punct(file, i + 2, b'=')
+                && i > 0
+                && is_punct(file, i - 1, b'.')
+            {
+                hard_state_writes.push((t.start, t.line, s.to_string()));
+            }
+        }
+
+        // (a) source-order check: no staging before the first persist.
+        if let Some(&first_persist) = persists.iter().min() {
+            for &(offset, line) in &stages {
+                if offset < first_persist {
+                    findings.push(Finding::new(
+                        Rule::WriteBeforeSend,
+                        &file.path,
+                        line,
+                        format!(
+                            "`{}` stages an outbound message before its first \
+                             persist call — write-before-send requires durability \
+                             first (waive if this path mutates nothing)",
+                            func.name
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // (b) hard-state writes need a later persist_hard_state.
+        for (offset, line, field) in &hard_state_writes {
+            let persisted_later = file.tokens.iter().enumerate().any(|(i, t)| {
+                t.start > *offset
+                    && t.end < close
+                    && file.tok_str(t) == "persist_hard_state"
+                    && is_punct(file, i + 1, b'(')
+            });
+            if !persisted_later {
+                findings.push(Finding::new(
+                    Rule::WriteBeforeSend,
+                    &file.path,
+                    *line,
+                    format!(
+                        "`{}` assigns `{field}` without a later \
+                         persist_hard_state() in the same function — a crash \
+                         here can double-vote",
+                        func.name
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}

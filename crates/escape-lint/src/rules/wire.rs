@@ -1,0 +1,247 @@
+//! Rule 5 — wire exhaustiveness: every `Message` variant must appear in
+//! the codec's encode arm, decode arm, and its roundtrip tests; the
+//! `Envelope` struct's fields likewise in both codec directions.
+//!
+//! This is the cross-file consistency check the compiler cannot do: a
+//! new variant added to `escape-core::message::Message` makes the
+//! codec's `match` non-exhaustive (compiler catches encode) but nothing
+//! forces a decode arm tag or a roundtrip test — a silent
+//! forward-compatibility hole on the wire.
+
+use crate::lexer::{SourceFile, TokenKind};
+use crate::report::{Finding, Rule};
+use crate::rules::{contains_ident, contains_path, is_punct, text};
+
+/// Checks `codec` (escape-wire/src/codec.rs) against the `Message` enum
+/// declared in `message` (escape-core/src/message.rs).
+pub fn check(message: &SourceFile, codec: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    let variants = enum_variants(message, "Message");
+    if variants.is_empty() {
+        findings.push(Finding::new(
+            Rule::Wire,
+            &message.path,
+            1,
+            "could not locate `enum Message` — the wire rule has nothing to \
+             check against"
+                .to_string(),
+        ));
+        return findings;
+    }
+
+    let encode = impl_block(codec, "Encode", "Message");
+    let decode = impl_block(codec, "Decode", "Message");
+    let tests: Vec<(usize, usize)> = codec.test_regions.clone();
+
+    let mut require_block = |span: Option<(usize, usize)>, what: &str| -> Option<(usize, usize)> {
+        if span.is_none() {
+            findings.push(Finding::new(
+                Rule::Wire,
+                &codec.path,
+                1,
+                format!("could not locate `{what}` in the codec"),
+            ));
+        }
+        span
+    };
+    let encode = require_block(encode, "impl Encode for Message");
+    let decode = require_block(decode, "impl Decode for Message");
+
+    for (variant, line) in &variants {
+        if let Some(span) = encode {
+            if !contains_path(codec, span, "Message", variant) {
+                findings.push(Finding::new(
+                    Rule::Wire,
+                    &codec.path,
+                    codec.line_of(span.0),
+                    format!("Message::{variant} has no encode arm"),
+                ));
+            }
+        }
+        if let Some(span) = decode {
+            if !contains_path(codec, span, "Message", variant) {
+                findings.push(Finding::new(
+                    Rule::Wire,
+                    &codec.path,
+                    codec.line_of(span.0),
+                    format!("Message::{variant} has no decode arm"),
+                ));
+            }
+        }
+        let tested = tests.iter().any(|span| contains_ident(codec, *span, variant));
+        if !tested {
+            findings.push(Finding::new(
+                Rule::Wire,
+                &message.path,
+                *line,
+                format!(
+                    "Message::{variant} never appears in the codec's roundtrip \
+                     tests"
+                ),
+            ));
+        }
+    }
+
+    // Envelope: every field must survive both directions, and the tests
+    // must roundtrip the struct itself.
+    let fields = struct_fields(codec, "Envelope");
+    let env_encode = impl_block(codec, "Encode", "Envelope");
+    let env_decode = impl_block(codec, "Decode", "Envelope");
+    for (field, line) in &fields {
+        for (dir, span) in [("encode", env_encode), ("decode", env_decode)] {
+            match span {
+                Some(span) if contains_ident(codec, span, field) => {}
+                Some(span) => findings.push(Finding::new(
+                    Rule::Wire,
+                    &codec.path,
+                    codec.line_of(span.0),
+                    format!("Envelope field `{field}` is missing from {dir}"),
+                )),
+                None => findings.push(Finding::new(
+                    Rule::Wire,
+                    &codec.path,
+                    *line,
+                    format!("no {dir} impl found for Envelope"),
+                )),
+            }
+        }
+    }
+    if !fields.is_empty()
+        && !tests.iter().any(|span| contains_ident(codec, *span, "Envelope"))
+    {
+        findings.push(Finding::new(
+            Rule::Wire,
+            &codec.path,
+            1,
+            "Envelope never appears in the codec's roundtrip tests".to_string(),
+        ));
+    }
+
+    findings
+}
+
+/// Variant names (and lines) of `enum <name> { ... }`.
+pub fn enum_variants(file: &SourceFile, name: &str) -> Vec<(String, usize)> {
+    let Some((open, close)) = item_block(file, "enum", name) else {
+        return Vec::new();
+    };
+    names_at_depth_zero(file, open, close, /*fields=*/ false)
+}
+
+/// Field names (and lines) of `struct <name> { ... }`.
+pub fn struct_fields(file: &SourceFile, name: &str) -> Vec<(String, usize)> {
+    let Some((open, close)) = item_block(file, "struct", name) else {
+        return Vec::new();
+    };
+    names_at_depth_zero(file, open, close, /*fields=*/ true)
+}
+
+/// The `{..}` span of `<kw> <name> { ... }` (enum/struct/mod).
+fn item_block(file: &SourceFile, kw: &str, name: &str) -> Option<(usize, usize)> {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if toks[i].kind == TokenKind::Ident
+            && file.tok_str(&toks[i]) == kw
+            && text(file, i + 1) == name
+        {
+            // Scan past generics/where to the opening brace.
+            for t in toks.iter().skip(i + 2) {
+                match t.kind {
+                    TokenKind::Punct(b'{') => {
+                        return file
+                            .brace_pairs
+                            .iter()
+                            .find(|&&(o, _)| o == t.start)
+                            .map(|&(o, c)| (o, c));
+                    }
+                    TokenKind::Punct(b';') => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The `{..}` span of `impl <trait> for <type>`.
+pub fn impl_block(file: &SourceFile, trait_name: &str, type_name: &str) -> Option<(usize, usize)> {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && file.tok_str(t) == "impl"
+            && text(file, i + 1) == trait_name
+            && text(file, i + 2) == "for"
+            && text(file, i + 3) == type_name
+            && is_punct(file, i + 4, b'{')
+        {
+            let open = file.tokens[i + 4].start;
+            return file
+                .brace_pairs
+                .iter()
+                .find(|&&(o, _)| o == open)
+                .map(|&(o, c)| (o, c));
+        }
+    }
+    None
+}
+
+/// Identifiers declared at depth 0 inside a brace span: enum variants
+/// (first ident of each `,`-separated arm) or struct fields (idents
+/// directly followed by `:`). Attribute groups are skipped.
+fn names_at_depth_zero(
+    file: &SourceFile,
+    open: usize,
+    close: usize,
+    fields: bool,
+) -> Vec<(String, usize)> {
+    let toks = &file.tokens;
+    let mut names = Vec::new();
+    let mut depth: i32 = 0;
+    let mut expecting = true; // at a variant/field boundary
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.start <= open || t.end >= close {
+            i += 1;
+            continue;
+        }
+        match t.kind {
+            // Skip whole attribute groups.
+            TokenKind::Punct(b'#') if is_punct(file, i + 1, b'[') => {
+                let mut d = 1;
+                i += 2;
+                while i < toks.len() && d > 0 {
+                    match toks[i].kind {
+                        TokenKind::Punct(b'[') => d += 1,
+                        TokenKind::Punct(b']') => d -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+            TokenKind::Punct(b'{') | TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => {
+                depth += 1
+            }
+            TokenKind::Punct(b'}') | TokenKind::Punct(b')') | TokenKind::Punct(b']') => {
+                depth -= 1
+            }
+            TokenKind::Punct(b',') if depth == 0 => expecting = true,
+            TokenKind::Ident if depth == 0 && expecting => {
+                let s = file.tok_str(t);
+                if s == "pub" || s == "crate" || s == "in" || s == "super" {
+                    // visibility qualifiers — keep expecting the name
+                } else if !fields || is_punct(file, i + 1, b':') {
+                    names.push((s.to_string(), t.line));
+                    expecting = false;
+                } else {
+                    expecting = false;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    names
+}

@@ -1,0 +1,20 @@
+// Fixture: the three lock-discipline failures — blocking under a
+// guard, a lock missing from the manifest, inverted nesting order.
+
+impl Mesh {
+    fn blocking_under_guard(&self) {
+        let link = self.link.lock();
+        link.stream.write_all(b"frame").ok();
+    }
+
+    fn unknown_lock(&self) {
+        let g = self.mystery.lock();
+        g.len();
+    }
+
+    fn wrong_order(&self) {
+        let outer = self.link.lock();
+        let inner = self.inner.lock();
+        let _ = (outer, inner);
+    }
+}

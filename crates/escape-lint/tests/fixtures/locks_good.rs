@@ -1,0 +1,16 @@
+// Fixture: guard dropped before blocking; nesting follows the manifest.
+
+impl Mesh {
+    fn drop_before_blocking(&self) {
+        let guard = self.link.lock();
+        let frame = guard.front();
+        drop(guard);
+        self.stream.write_all(b"frame").ok();
+    }
+
+    fn ordered_nesting(&self) {
+        let registry = self.inner.lock();
+        let link = self.link.lock();
+        let _ = (registry, link);
+    }
+}

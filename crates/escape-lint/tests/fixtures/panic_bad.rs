@@ -1,0 +1,11 @@
+// Fixture: every construct the panic-freedom rule must catch.
+
+pub fn broken(v: &[u8], o: Option<u8>) -> u8 {
+    let first = v[0];
+    let x = o.unwrap();
+    let y = o.expect("present");
+    if first == 0 {
+        panic!("zero");
+    }
+    x + y
+}

@@ -1,0 +1,16 @@
+// Fixture: panic-free equivalents, plus test code where unwrap is fine.
+
+pub fn careful(v: &[u8], o: Option<u8>) -> u8 {
+    let first = v.first().copied().unwrap_or(0);
+    let x = o.unwrap_or_default();
+    first + x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let o: Option<u8> = Some(1);
+        assert_eq!(o.unwrap(), 1);
+    }
+}

@@ -1,0 +1,25 @@
+// Fixture: waiver mechanics — same-line, line-above, and the three
+// hygiene failures (stale, reasonless, unknown rule).
+
+pub fn waived_inline(v: &[u8]) -> u8 {
+    v[0] // lint:allow(panic): caller guarantees non-empty
+}
+
+pub fn waived_above(v: &[u8]) -> u8 {
+    // lint:allow(panic): caller guarantees at least two elements
+    v[1]
+}
+
+pub fn stale() -> u8 {
+    // lint:allow(panic): nothing here trips the rule
+    0
+}
+
+pub fn reasonless(o: Option<u8>) -> u8 {
+    o.unwrap() // lint:allow(panic)
+}
+
+pub fn unknown_rule() -> u8 {
+    // lint:allow(nonsense): because
+    0
+}

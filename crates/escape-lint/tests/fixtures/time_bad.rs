@@ -1,0 +1,10 @@
+// Fixture: ambient clock reads. Parsed once under an engine path (both
+// must trip) and once under the clock-module path (both are allowed).
+
+pub fn naughty() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn also_naughty() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

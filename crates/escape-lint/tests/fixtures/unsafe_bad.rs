@@ -1,0 +1,4 @@
+// Fixture: an unsafe impl with no SAFETY comment anywhere near it.
+
+#[allow(unsafe_code)]
+unsafe impl Send for Handle {}

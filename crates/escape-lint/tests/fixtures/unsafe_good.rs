@@ -1,0 +1,6 @@
+// Fixture: the annotation the rule wants, within three lines above.
+
+// SAFETY: Handle owns its pointer exclusively; sending it to another
+// thread transfers that ownership wholesale.
+#[allow(unsafe_code)]
+unsafe impl Send for Handle {}

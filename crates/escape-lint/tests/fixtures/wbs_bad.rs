@@ -1,0 +1,14 @@
+// Fixture: both write-before-send failure modes — staging a reply
+// before the persist, and a hard-state write with no persist at all.
+
+impl Node {
+    fn replies_before_persisting(&mut self, peer: ServerId, out: &mut Vec<Action>) {
+        self.voted_for = Some(peer);
+        self.send(peer, Message::RequestVoteReply(reply), None, out);
+        self.persist_hard_state();
+    }
+
+    fn forgets_to_persist(&mut self, term: Term) {
+        self.current_term = term;
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: the correct order — durable first, then the reply.
+
+impl Node {
+    fn persists_before_replying(&mut self, peer: ServerId, out: &mut Vec<Action>) {
+        self.voted_for = Some(peer);
+        self.persist_hard_state();
+        self.send(peer, Message::RequestVoteReply(reply), None, out);
+    }
+}

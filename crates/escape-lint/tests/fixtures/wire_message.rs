@@ -1,0 +1,7 @@
+// Fixture: the enum the wire rule reads its variant list from.
+
+pub enum Message {
+    RequestVote(RequestVoteArgs),
+    AppendEntries(AppendEntriesArgs),
+    Ping,
+}

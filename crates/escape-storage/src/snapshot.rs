@@ -65,15 +65,26 @@ pub fn write(dir: &Path, index: LogIndex, term: Term, data: &Bytes) -> io::Resul
 /// Reads and validates one snapshot file.
 fn read_one(path: &Path) -> io::Result<RecoveredSnapshot> {
     let mut file = File::open(path)?;
-    let mut header = [0u8; 8 + 8 + 8 + 4 + 8];
-    file.read_exact(&mut header)?;
-    if &header[..8] != SNAPSHOT_MAGIC {
+    // Field-by-field reads into fixed arrays: no slicing, no fallible
+    // try_into on a hand-counted offset.
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)?;
+    if magic != *SNAPSHOT_MAGIC {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot magic"));
     }
-    let index = u64::from_le_bytes(header[8..16].try_into().unwrap());
-    let term = u64::from_le_bytes(header[16..24].try_into().unwrap());
-    let expected_crc = u32::from_le_bytes(header[24..28].try_into().unwrap());
-    let len = u64::from_le_bytes(header[28..36].try_into().unwrap()) as usize;
+    let read_u64 = |file: &mut File| -> io::Result<u64> {
+        let mut word = [0u8; 8];
+        file.read_exact(&mut word)?;
+        Ok(u64::from_le_bytes(word))
+    };
+    let index = read_u64(&mut file)?;
+    let term = read_u64(&mut file)?;
+    let expected_crc = {
+        let mut word = [0u8; 4];
+        file.read_exact(&mut word)?;
+        u32::from_le_bytes(word)
+    };
+    let len = read_u64(&mut file)? as usize;
     let mut data = vec![0u8; len];
     file.read_exact(&mut data)?;
     if crc32(&data) != expected_crc {
@@ -126,7 +137,7 @@ pub fn load_latest(dir: &Path) -> io::Result<Option<RecoveredSnapshot>> {
 pub fn prune(dir: &Path, keep: usize) -> io::Result<()> {
     let snapshots = list(dir)?;
     let cut = snapshots.len().saturating_sub(keep);
-    for (_, path) in &snapshots[..cut] {
+    for (_, path) in snapshots.iter().take(cut) {
         fs::remove_file(path)?;
     }
     for entry in fs::read_dir(dir)? {

@@ -7,6 +7,16 @@ use std::time::Instant;
 
 use escape_core::time::Time;
 
+/// Reads the monotonic clock. This module is the transport's single
+/// designated clock source — escape-lint's deterministic-time rule
+/// forbids raw `Instant::now()` anywhere else, so every wall-clock read
+/// funnels through here and is easy to audit (or swap for a virtual
+/// clock) later.
+#[must_use]
+pub fn monotonic_now() -> Instant {
+    Instant::now()
+}
+
 /// Maps [`Instant`]s onto the engine's logical timeline.
 #[derive(Clone, Copy, Debug)]
 pub struct RuntimeClock {

@@ -125,6 +125,7 @@ impl InprocCluster {
             let handle = std::thread::Builder::new()
                 .name(format!("escape-node-{}", id.get()))
                 .spawn(move || node_loop(node, inbox, outbound, clock))
+                // lint:allow(panic): thread-spawn failure at startup is fatal by design
                 .expect("spawn node thread");
             threads.push(handle);
         }
@@ -151,8 +152,8 @@ impl InprocCluster {
 
     /// Polls until some node reports itself leader, up to `timeout`.
     pub fn wait_for_leader(&self, timeout: std::time::Duration) -> Option<ServerId> {
-        let deadline = std::time::Instant::now() + timeout;
-        while std::time::Instant::now() < deadline {
+        let deadline = crate::clock::monotonic_now() + timeout;
+        while crate::clock::monotonic_now() < deadline {
             for id in &self.ids {
                 if let Some(status) = self.status(*id) {
                     if status.role == Role::Leader {
@@ -176,9 +177,9 @@ impl InprocCluster {
         command: Bytes,
         timeout: std::time::Duration,
     ) -> Result<(LogIndex, Bytes), ClientError> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = crate::clock::monotonic_now() + timeout;
         loop {
-            if std::time::Instant::now() >= deadline {
+            if crate::clock::monotonic_now() >= deadline {
                 return Err(ClientError::Timeout);
             }
             let Some(leader) = self.find_leader() else {
@@ -206,7 +207,7 @@ impl InprocCluster {
                         index,
                         reply: atx,
                     });
-                    let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                    let remaining = deadline.saturating_duration_since(crate::clock::monotonic_now());
                     match arx.recv_timeout(remaining.max(std::time::Duration::from_millis(1))) {
                         Ok(result) => return Ok((index, result)),
                         Err(_) => return Err(ClientError::Timeout),
@@ -295,9 +296,9 @@ mod tests {
             .expect("first leader");
         cluster.pause(first);
         // A replacement must emerge among the remaining two.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let deadline = crate::clock::monotonic_now() + std::time::Duration::from_secs(5);
         let second = loop {
-            assert!(std::time::Instant::now() < deadline, "no failover");
+            assert!(crate::clock::monotonic_now() < deadline, "no failover");
             let found = cluster
                 .ids()
                 .iter()

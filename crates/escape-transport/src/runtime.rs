@@ -379,7 +379,9 @@ fn absorb(
                 }
                 recent_results.insert(index, result);
                 while recent_results.len() > RESULT_WINDOW {
-                    let oldest = *recent_results.keys().next().expect("non-empty");
+                    let Some(oldest) = recent_results.keys().next().copied() else {
+                        break;
+                    };
                     recent_results.remove(&oldest);
                 }
             }

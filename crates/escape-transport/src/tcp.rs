@@ -109,7 +109,9 @@ impl PeerLink {
             if idx >= self.pending.len() {
                 break;
             }
-            let dropped = self.pending.remove(idx).expect("index checked");
+            let Some(dropped) = self.pending.remove(idx) else {
+                break;
+            };
             self.pending_bytes -= dropped.len();
             self.dropped += 1;
         }
@@ -130,6 +132,7 @@ impl PeerLink {
                 Vec::with_capacity(self.pending.len().min(WRITEV_MAX_FRAMES));
             for (i, frame) in self.pending.iter().take(WRITEV_MAX_FRAMES).enumerate() {
                 let from = if i == 0 { self.front_offset } else { 0 };
+                // lint:allow(panic): front_offset < front frame len (partial-write invariant)
                 slices.push(std::io::IoSlice::new(&frame[from..]));
             }
             match stream.write_vectored(&slices) {
@@ -137,7 +140,9 @@ impl PeerLink {
                 Ok(mut n) => {
                     // Consume `n` bytes across the queued frames.
                     while n > 0 {
-                        let front = self.pending.front().expect("bytes written imply a frame");
+                        let Some(front) = self.pending.front() else {
+                            break;
+                        };
                         let remaining = front.len() - self.front_offset;
                         if n >= remaining {
                             n -= remaining;
@@ -223,6 +228,7 @@ impl TcpMesh {
         let handle = std::thread::Builder::new()
             .name(format!("escape-tcp-flush-{}", from.get()))
             .spawn(move || worker.flush_loop())
+            // lint:allow(panic): thread-spawn failure at startup is fatal by design
             .expect("spawn mesh flusher");
         *mesh.flusher.lock() = Some(handle);
         mesh
@@ -244,7 +250,7 @@ impl TcpMesh {
         let mut link = link.lock();
         link.enqueue(frame);
         if link.stream.is_some() && link.try_flush().is_err() {
-            link.mark_broken(Instant::now());
+            link.mark_broken(crate::clock::monotonic_now());
         }
     }
 
@@ -271,7 +277,7 @@ impl TcpMesh {
                     let link = link.lock();
                     !link.pending.is_empty()
                         && link.stream.is_none()
-                        && link.may_attempt(Instant::now())
+                        && link.may_attempt(crate::clock::monotonic_now())
                 })
                 .map(|(id, _)| *id)
                 .collect();
@@ -283,9 +289,10 @@ impl TcpMesh {
             // max(connect time), not the sum.
             let attempts: Vec<(ServerId, JoinHandle<Option<TcpStream>>)> = candidates
                 .into_iter()
-                .map(|id| {
-                    let addr = self.peers[&id].0;
-                    (id, std::thread::spawn(move || Self::connect(addr)))
+                .filter_map(|id| {
+                    let (addr, _) = self.peers.get(&id)?;
+                    let addr = *addr;
+                    Some((id, std::thread::spawn(move || Self::connect(addr))))
                 })
                 .collect();
 
@@ -298,7 +305,7 @@ impl TcpMesh {
                     && link.stream.is_some()
                     && link.try_flush().is_err()
                 {
-                    link.mark_broken(Instant::now());
+                    link.mark_broken(crate::clock::monotonic_now());
                 }
             }
 
@@ -306,7 +313,10 @@ impl TcpMesh {
             // peers' queues drain on the next send or the next scan.
             for (id, attempt) in attempts {
                 let fresh = attempt.join().unwrap_or(None);
-                let mut link = self.peers[&id].1.lock();
+                let Some((_, link)) = self.peers.get(&id) else {
+                    continue;
+                };
+                let mut link = link.lock();
                 match fresh {
                     // Sends may have raced in while we connected;
                     // installing the stream is fine either way (only the
@@ -315,10 +325,10 @@ impl TcpMesh {
                         link.stream = Some(stream);
                         link.mark_healthy();
                         if link.try_flush().is_err() {
-                            link.mark_broken(Instant::now());
+                            link.mark_broken(crate::clock::monotonic_now());
                         }
                     }
-                    None => link.mark_broken(Instant::now()),
+                    None => link.mark_broken(crate::clock::monotonic_now()),
                 }
             }
             std::thread::sleep(FLUSH_INTERVAL);
@@ -463,6 +473,7 @@ pub fn spawn_acceptor(
                 std::thread::spawn(move || read_loop(stream, routes));
             }
         })
+        // lint:allow(panic): thread-spawn failure at startup is fatal by design
         .expect("spawn acceptor")
 }
 
@@ -500,6 +511,7 @@ impl TcpNode {
         state_machine: Box<dyn StateMachine>,
         data_dir: Option<&Path>,
     ) -> Self {
+        // lint:allow(panic): documented `# Panics` contract — the map must contain `id`
         let my_addr = *addrs.get(&id).expect("own address present");
         let ids: Vec<ServerId> = {
             let mut v: Vec<ServerId> = addrs.keys().copied().collect();
@@ -526,6 +538,7 @@ impl TcpNode {
             .options(ProtocolSpec::local_options());
         if let Some(dir) = data_dir {
             let (storage, recovered) =
+                // lint:allow(panic): fail-stop — a node that cannot recover its WAL must not serve
                 WalStorage::open(dir).expect("open/recover node data directory");
             builder = builder.storage(Box::new(storage)).recover(recovered);
         }
@@ -538,6 +551,7 @@ impl TcpNode {
             std::thread::Builder::new()
                 .name(format!("escape-tcp-node-{}", id.get()))
                 .spawn(move || node_loop(node, rx, outbound, clock))
+                // lint:allow(panic): thread-spawn failure at startup is fatal by design
                 .expect("spawn node loop"),
         );
 
@@ -663,6 +677,7 @@ fn read_loop(mut stream: TcpStream, routes: GroupRoutes) {
             Ok(0) | Err(_) => return,
             Ok(n) => n,
         };
+        // lint:allow(panic): n is the byte count just read into chunk, so n <= chunk.len()
         reader.extend(&chunk[..n]);
         loop {
             match reader.next_frame() {
@@ -718,7 +733,9 @@ pub fn loopback_listeners(
     let mut addrs = HashMap::new();
     let mut listeners = HashMap::new();
     for i in 1..=n as u32 {
+        // lint:allow(panic): test-harness helper; failure to bind loopback is fatal
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+        // lint:allow(panic): test-harness helper; failure to bind loopback is fatal
         let addr = listener.local_addr().expect("local addr");
         addrs.insert(ServerId::new(i), addr);
         listeners.insert(ServerId::new(i), listener);
@@ -735,7 +752,7 @@ mod tests {
     use escape_core::types::{Role, Term};
     use std::path::PathBuf;
     use std::sync::atomic::AtomicU64;
-    use std::time::{Duration, Instant};
+    use std::time::Duration;
 
     fn scratch_dir(label: &str) -> PathBuf {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -773,9 +790,9 @@ mod tests {
     }
 
     fn wait_for_leader(nodes: &[TcpNode], timeout: Duration) -> usize {
-        let deadline = Instant::now() + timeout;
+        let deadline = crate::clock::monotonic_now() + timeout;
         loop {
-            assert!(Instant::now() < deadline, "no TCP leader within {timeout:?}");
+            assert!(crate::clock::monotonic_now() < deadline, "no TCP leader within {timeout:?}");
             if let Some(i) = nodes
                 .iter()
                 .position(|n| status_of(n).is_some_and(|s| s.role == Role::Leader))
@@ -948,7 +965,7 @@ mod tests {
     #[test]
     fn peer_link_backoff_doubles_and_resets() {
         let mut link = PeerLink::default();
-        let t0 = Instant::now();
+        let t0 = crate::clock::monotonic_now();
         link.mark_broken(t0);
         assert_eq!(link.backoff, Some(BACKOFF_INITIAL * 2));
         assert!(!link.may_attempt(t0));
@@ -997,7 +1014,7 @@ mod tests {
             1,
             "the partially sent frame must not be dropped by the bound"
         );
-        link.mark_broken(Instant::now());
+        link.mark_broken(crate::clock::monotonic_now());
         assert_eq!(link.front_offset, 0);
         assert!(
             link.pending.front().map_or(true, |f| f[0] != 1),
@@ -1023,9 +1040,9 @@ mod tests {
         };
 
         let leader = {
-            let deadline = Instant::now() + Duration::from_secs(10);
+            let deadline = crate::clock::monotonic_now() + Duration::from_secs(10);
             loop {
-                assert!(Instant::now() < deadline, "no leader within 10s");
+                assert!(crate::clock::monotonic_now() < deadline, "no leader within 10s");
                 if let Some(i) = all(&nodes).iter().position(|s| s.role == Role::Leader) {
                     break i;
                 }
@@ -1065,9 +1082,9 @@ mod tests {
         );
 
         // The cluster (restarted node included) elects and recommits.
-        let deadline = Instant::now() + Duration::from_secs(15);
+        let deadline = crate::clock::monotonic_now() + Duration::from_secs(15);
         let new_leader = loop {
-            assert!(Instant::now() < deadline, "no post-restart leader");
+            assert!(crate::clock::monotonic_now() < deadline, "no post-restart leader");
             if let Some(i) = all(&nodes).iter().position(|s| s.role == Role::Leader) {
                 break i;
             }
@@ -1105,9 +1122,9 @@ mod tests {
             .collect();
 
         let leader = {
-            let deadline = Instant::now() + Duration::from_secs(10);
+            let deadline = crate::clock::monotonic_now() + Duration::from_secs(10);
             loop {
-                assert!(Instant::now() < deadline, "no leader within 10s");
+                assert!(crate::clock::monotonic_now() < deadline, "no leader within 10s");
                 let statuses: Vec<NodeStatus> = nodes
                     .iter()
                     .map(|n| status_of(n.as_ref().unwrap()).expect("status"))
@@ -1139,9 +1156,9 @@ mod tests {
         // The two live nodes (wiped + intact) are a quorum; only the
         // intact one may win. Poll the whole window: the wiped node must
         // never report leadership.
-        let deadline = Instant::now() + Duration::from_secs(20);
+        let deadline = crate::clock::monotonic_now() + Duration::from_secs(20);
         let mut intact_led = false;
-        while Instant::now() < deadline {
+        while crate::clock::monotonic_now() < deadline {
             let wiped_status = status_of(nodes[wiped].as_ref().unwrap()).expect("status");
             assert_ne!(
                 wiped_status.role,

@@ -72,15 +72,10 @@ impl FrameReader {
     /// [`WireError::FrameTooLarge`] if a length prefix exceeds the cap; the
     /// stream is unrecoverable after that.
     pub fn next_frame(&mut self) -> Result<Option<Bytes>, WireError> {
-        if self.buffer.len() < 4 {
-            return Ok(None);
-        }
-        let declared = u32::from_le_bytes([
-            self.buffer[0],
-            self.buffer[1],
-            self.buffer[2],
-            self.buffer[3],
-        ]) as usize;
+        let Some(&[b0, b1, b2, b3]) = self.buffer.get(..4) else {
+            return Ok(None); // prefix not complete yet
+        };
+        let declared = u32::from_le_bytes([b0, b1, b2, b3]) as usize;
         if declared > self.max_frame {
             return Err(WireError::FrameTooLarge {
                 declared,

@@ -43,7 +43,7 @@ const CRC_TABLE: [u32; 256] = {
             };
             bit += 1;
         }
-        table[i] = crc;
+        table[i] = crc; // lint:allow(panic): const-evaluated loop, i < 256 == table.len()
         i += 1;
     }
     table
@@ -87,6 +87,7 @@ impl Crc32 {
     #[must_use]
     pub fn update(mut self, bytes: &[u8]) -> Self {
         for &b in bytes {
+            // lint:allow(panic): index is masked `& 0xFF`, table holds 256 entries
             self.0 = (self.0 >> 8) ^ CRC_TABLE[((self.0 ^ u32::from(b)) & 0xFF) as usize];
         }
         self
@@ -171,7 +172,10 @@ pub fn read_record_v2(buf: &mut Bytes, max_record: usize) -> Result<Option<Bytes
     if buf.remaining() < 8 {
         return Err(WireError::Truncated);
     }
-    let len_bytes = [buf[0], buf[1], buf[2], buf[3]];
+    let Some(&[l0, l1, l2, l3]) = buf.get(..4) else {
+        return Err(WireError::Truncated);
+    };
+    let len_bytes = [l0, l1, l2, l3];
     buf.advance(4);
     let len = u32::from_le_bytes(len_bytes) as usize;
     let expected = buf.get_u32_le();

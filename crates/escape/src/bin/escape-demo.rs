@@ -34,7 +34,9 @@ fn status_of(node: &TcpNode) -> Option<NodeStatus> {
 }
 
 fn wait_for_leader(nodes: &[TcpNode], timeout: Duration) -> Option<usize> {
+    // lint:allow(time): demo measures real wall-clock elapsed time on purpose
     let deadline = Instant::now() + timeout;
+    // lint:allow(time): demo measures real wall-clock elapsed time on purpose
     while Instant::now() < deadline {
         if let Some(i) = nodes
             .iter()
@@ -185,6 +187,7 @@ fn main() {
 
     // A small write workload through the leader: one-at-a-time first,
     // then the same volume as a single batched burst.
+    // lint:allow(time): demo measures real wall-clock elapsed time on purpose
     let t0 = Instant::now();
     for i in 0..20 {
         let cmd = KvCommand::Put {
@@ -198,6 +201,7 @@ fn main() {
         t0.elapsed().as_secs_f64() * 1000.0
     );
 
+    // lint:allow(time): demo measures real wall-clock elapsed time on purpose
     let t0 = Instant::now();
     let batch: Vec<Bytes> = (20..40)
         .map(|i| {
@@ -230,6 +234,7 @@ fn main() {
 
     // Linearizable read — off the log, via the leader's ReadIndex/lease
     // path (zero replication rounds while the lease holds).
+    // lint:allow(time): demo measures real wall-clock elapsed time on purpose
     let t0 = Instant::now();
     let results = nodes[leader]
         .read_batch(
@@ -251,6 +256,7 @@ fn main() {
 
     // Kill the leader (hard shutdown of its threads).
     println!("\n*** killing leader {leader_id} ***");
+    // lint:allow(time): demo measures real wall-clock elapsed time on purpose
     let t1 = Instant::now();
     let mut survivors = Vec::new();
     for (i, node) in nodes.into_iter().enumerate() {
@@ -324,11 +330,13 @@ fn wait_for_group_leader(
     group: GroupId,
     timeout: Duration,
 ) -> usize {
+    // lint:allow(time): demo measures real wall-clock elapsed time on purpose
     let deadline = Instant::now() + timeout;
     loop {
         if let Some(i) = group_leader(nodes, group) {
             return i;
         }
+        // lint:allow(time): demo measures real wall-clock elapsed time on purpose
         assert!(Instant::now() < deadline, "no leader for {group}");
         std::thread::sleep(Duration::from_millis(20));
     }
@@ -375,6 +383,7 @@ fn sharded_demo(n: usize, protocol: String, spec: ProtocolSpec, shards: usize) {
     // the server leading their owning shard, and each server gets its
     // share as one `propose_batch` call (one coalesced replication round
     // per shard instead of one commit cycle per key).
+    // lint:allow(time): demo measures real wall-clock elapsed time on purpose
     let t0 = Instant::now();
     let mut per_group = vec![0usize; shards];
     let mut per_server: HashMap<usize, Vec<(Bytes, Bytes)>> = HashMap::new();
@@ -440,6 +449,7 @@ fn sharded_demo(n: usize, protocol: String, spec: ProtocolSpec, shards: usize) {
         .filter(|g| leaders[g] != victim_server)
         .collect();
     println!("\n*** killing {victim_id}, leader of {victim_group} ***");
+    // lint:allow(time): demo measures real wall-clock elapsed time on purpose
     let t1 = Instant::now();
     nodes[victim_server].take().unwrap().kill();
 
