@@ -15,6 +15,9 @@
 //! cargo run -p escape-bench --bin bench_check -- replication \
 //!     crates/escape-bench/BENCH_replication.json \
 //!     crates/escape-bench/baselines/replication.json
+//! cargo run -p escape-bench --bin bench_check -- obs_overhead \
+//!     crates/escape-bench/BENCH_replication.json \
+//!     crates/escape-bench/baselines/replication.json
 //! ```
 //!
 //! Each suite gates one scaling ratio, twice — both machine-independent
@@ -35,6 +38,11 @@
 //!   the same 256 queries, served under a held leader lease vs proposed
 //!   through the fsyncing log. Limit 0.1 — leased reads must stay ≥10×
 //!   the through-the-log throughput; baseline drift 2×.
+//! * **obs_overhead** — `obs_overhead/noop/b256` vs
+//!   `obs_overhead/baseline/b256`: the same 256-command propose workload
+//!   with an explicit no-op observer attached vs the builder default.
+//!   Limit 1.02 — the observer hooks threaded through the hot path must
+//!   cost under 2% when disabled; baseline drift 1.05.
 //!
 //! Absolute medians are compared against the baseline too, but only
 //! warn: wall-clock medians vary across CI machines, so absolute 2×
@@ -82,6 +90,13 @@ const SUITES: &[Suite] = &[
         ratio_denominator: "reads/log_read/b256",
         ratio_limit: 0.1,
         baseline_factor: 2.0,
+    },
+    Suite {
+        name: "obs_overhead",
+        ratio_numerator: "obs_overhead/noop/b256",
+        ratio_denominator: "obs_overhead/baseline/b256",
+        ratio_limit: 1.02,
+        baseline_factor: 1.05,
     },
 ];
 

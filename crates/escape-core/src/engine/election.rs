@@ -5,6 +5,8 @@
 //! (timeout values, term growth, the confClock admissibility rule) is asked
 //! of the [`ElectionPolicy`](crate::policy::ElectionPolicy).
 
+use escape_obs::Event;
+
 use super::{Action, Node};
 use crate::message::{Message, RequestVoteArgs, RequestVoteReply};
 use crate::time::Time;
@@ -21,6 +23,14 @@ impl Node {
         }
         self.role = Role::Candidate;
         self.metrics.elections_started += 1;
+        // Detection instant, stamped with the term the silence was
+        // observed under — the timeline splits detect from campaign here.
+        self.emit(
+            now,
+            Event::ElectionTimeout {
+                term: self.current_term.get(),
+            },
+        );
 
         // Eq. 2: advance the term by the policy's increment (1 for Raft,
         // the priority for Z-Raft/ESCAPE).
@@ -35,6 +45,12 @@ impl Node {
         self.votes_granted.insert(self.id);
         self.leader_hint = None;
 
+        self.emit(
+            now,
+            Event::CampaignStarted {
+                term: self.current_term.get(),
+            },
+        );
         out.push(Action::BecameCandidate {
             term: self.current_term,
         });
@@ -127,6 +143,12 @@ impl Node {
             let fence_ok = !self.vote_fenced(now);
             if !fence_ok {
                 self.metrics.votes_lease_fenced += 1;
+                self.emit(
+                    now,
+                    Event::VoteFenced {
+                        term: args.term.get(),
+                    },
+                );
             }
             vote_free && log_ok && policy_ok && fence_ok
         };
@@ -177,6 +199,12 @@ impl Node {
         self.role = Role::Leader;
         self.leader_hint = Some(self.id);
         self.metrics.elections_won += 1;
+        self.emit(
+            now,
+            Event::LeaderElected {
+                term: self.current_term.get(),
+            },
+        );
 
         let next = self.log.last_index().next();
         for peer in &self.peers {

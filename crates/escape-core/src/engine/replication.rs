@@ -8,6 +8,8 @@
 //! followers adopt fresher configurations and report their log
 //! responsiveness back on the replies (Listing 1).
 
+use escape_obs::Event;
+
 use super::{Action, Node, SnapshotHandle};
 use crate::log::{AppendOutcome, ReplicationSource};
 use crate::message::{
@@ -34,6 +36,11 @@ impl Node {
     pub(super) fn heartbeat_round(&mut self, now: Time, out: &mut Vec<Action>) {
         if self.policy.begin_heartbeat_round() {
             self.metrics.rearrangements_issued += 1;
+            let conf_clock = self
+                .policy
+                .current_config()
+                .map_or(0, |c| c.conf_clock.get());
+            self.emit(now, Event::RearrangementIssued { conf_clock });
             // A rearrangement restamped the leader's own configuration
             // with the fresh clock; keep the durable copy current.
             self.persist_current_config();
@@ -46,9 +53,9 @@ impl Node {
             // lint:allow(panic): i < peers.len() by the loop bound
             let peer = self.peers[i];
             let before = out.len();
-            self.pump_peer(peer, Some(broadcast), out);
+            self.pump_peer(peer, Some(broadcast), now, out);
             if out.len() == before {
-                self.send_heartbeat(peer, Some(broadcast), out);
+                self.send_heartbeat(peer, Some(broadcast), now, out);
             }
         }
     }
@@ -63,7 +70,7 @@ impl Node {
         for i in 0..self.peers.len() {
             // lint:allow(panic): i < peers.len() by the loop bound
             let peer = self.peers[i];
-            self.send_heartbeat(peer, Some(broadcast), out);
+            self.send_heartbeat(peer, Some(broadcast), now, out);
         }
         broadcast
     }
@@ -82,7 +89,7 @@ impl Node {
         for i in 0..self.peers.len() {
             // lint:allow(panic): i < peers.len() by the loop bound
             let peer = self.peers[i];
-            self.pump_peer(peer, Some(broadcast), out);
+            self.pump_peer(peer, Some(broadcast), now, out);
         }
     }
 
@@ -97,6 +104,7 @@ impl Node {
         &mut self,
         peer: ServerId,
         broadcast: Option<u64>,
+        now: Time,
         out: &mut Vec<Action>,
     ) {
         loop {
@@ -153,6 +161,13 @@ impl Node {
                         data: snapshot.data,
                     };
                     self.send(peer, Message::InstallSnapshot(args), broadcast, out);
+                    self.emit(
+                        now,
+                        Event::SnapshotSent {
+                            to: peer.get(),
+                            index: snapshot.index.get(),
+                        },
+                    );
                     // Optimistically resume entry shipping above the
                     // snapshot; the reply re-anchors if it was stale.
                     self.next_index.insert(peer, resume_from);
@@ -169,6 +184,7 @@ impl Node {
         &mut self,
         peer: ServerId,
         broadcast: Option<u64>,
+        now: Time,
         out: &mut Vec<Action>,
     ) {
         let next = self
@@ -186,7 +202,7 @@ impl Node {
             // pump, which ships the snapshot this follower now needs.
             self.inflight.insert(peer, 0);
             self.next_index.insert(peer, self.log.snapshot_index());
-            self.pump_peer(peer, broadcast, out);
+            self.pump_peer(peer, broadcast, now, out);
             return;
         };
         let args = AppendEntriesArgs {
@@ -244,6 +260,12 @@ impl Node {
                 data: args.data,
             });
             self.metrics.snapshots_installed += 1;
+            self.emit(
+                now,
+                Event::SnapshotInstalled {
+                    index: self.last_applied.get(),
+                },
+            );
             out.push(Action::Committed {
                 index: self.commit_index,
             });
@@ -285,7 +307,7 @@ impl Node {
             .max(matched.next());
         self.next_index.insert(from, next);
         self.advance_commit(now, out);
-        self.pump_peer(from, None, out);
+        self.pump_peer(from, None, now, out);
     }
 
     /// Compacts the log once enough applied entries accumulate above the
@@ -358,8 +380,10 @@ impl Node {
         // ESCAPE: adopt a fresher configuration if the heartbeat carries
         // one.
         if let Some(config) = args.new_config {
+            let conf_clock = config.conf_clock.get();
             if self.policy.config_received(config) {
                 self.metrics.configs_adopted += 1;
+                self.emit(now, Event::ConfigAdopted { conf_clock });
                 // Durable at adoption: this clock is what fences wiped
                 // restarts off from intact voters after a crash (§IV-B).
                 self.persist_current_config();
@@ -460,7 +484,7 @@ impl Node {
             self.next_index.insert(from, next);
             self.advance_commit(now, out);
             // Keep the pipeline full if the follower is still behind.
-            self.pump_peer(from, None, out);
+            self.pump_peer(from, None, now, out);
         } else {
             // Backtrack: at most to just past the follower's last index,
             // otherwise one step, floored at 1. A rejection also voids
@@ -484,7 +508,7 @@ impl Node {
             let capped = stepped.min(reply.match_hint.next());
             self.next_index.insert(from, capped.max(LogIndex::new(1)));
             self.inflight.insert(from, 0);
-            self.pump_peer(from, None, out);
+            self.pump_peer(from, None, now, out);
         }
     }
 
@@ -518,6 +542,17 @@ impl Node {
             candidate = candidate.prev();
         }
         if candidate > self.commit_index {
+            // The no-op (or first entry) of this leadership just committed:
+            // the failover timeline's terminal phase boundary.
+            if self.commit_index < self.term_start_index && candidate >= self.term_start_index {
+                self.emit(
+                    now,
+                    Event::FirstCommit {
+                        term: self.current_term.get(),
+                        index: candidate.get(),
+                    },
+                );
+            }
             self.commit_index = candidate;
             self.metrics.entries_committed += 1;
             // Commit-latency histogram: everything this leader proposed

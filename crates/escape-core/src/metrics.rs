@@ -137,6 +137,62 @@ impl NodeMetrics {
         self.commits_timed += 1;
     }
 
+    /// Publishes this counter set into an [`escape_obs::Registry`] under
+    /// `labels` (typically `node` and, when sharded, `group`).
+    ///
+    /// Counters carry the node's lifetime totals, so this *stores* them as
+    /// the instrument's absolute value rather than adding — publishing is
+    /// idempotent and may run on every scrape or status tick. The two
+    /// engine histograms land with their native bucket bounds, ready for
+    /// cross-group merging via [`escape_obs::Registry::aggregate_histogram`].
+    pub fn publish(&self, registry: &escape_obs::Registry, labels: &escape_obs::Labels) {
+        let counters: [(&str, u64); 24] = [
+            ("escape_elections_started_total", self.elections_started),
+            ("escape_elections_won_total", self.elections_won),
+            ("escape_votes_granted_total", self.votes_granted),
+            ("escape_votes_rejected_total", self.votes_rejected),
+            ("escape_votes_lease_fenced_total", self.votes_lease_fenced),
+            ("escape_step_downs_total", self.step_downs),
+            ("escape_append_entries_sent_total", self.append_entries_sent),
+            ("escape_request_votes_sent_total", self.request_votes_sent),
+            ("escape_snapshots_sent_total", self.snapshots_sent),
+            ("escape_snapshots_installed_total", self.snapshots_installed),
+            ("escape_compactions_total", self.compactions),
+            ("escape_replies_sent_total", self.replies_sent),
+            ("escape_messages_received_total", self.messages_received),
+            ("escape_entries_committed_total", self.entries_committed),
+            ("escape_commands_applied_total", self.commands_applied),
+            (
+                "escape_rearrangements_issued_total",
+                self.rearrangements_issued,
+            ),
+            ("escape_configs_adopted_total", self.configs_adopted),
+            ("escape_propose_batches_total", self.propose_batches),
+            ("escape_commands_proposed_total", self.commands_proposed),
+            ("escape_read_batches_total", self.read_batches),
+            ("escape_reads_served_total", self.reads_served),
+            ("escape_lease_reads_total", self.lease_reads),
+            ("escape_quorum_reads_total", self.quorum_reads),
+            ("escape_reads_failed_total", self.reads_failed),
+        ];
+        for (name, total) in counters {
+            registry.counter(name, labels).store(total);
+        }
+        registry
+            .histogram("escape_propose_batch_size", labels, &BATCH_SIZE_BOUNDS)
+            .store_snapshot(&self.batch_size_histogram, self.commands_proposed);
+        registry
+            .histogram(
+                "escape_commit_latency_micros",
+                labels,
+                &COMMIT_LATENCY_BOUNDS_MICROS,
+            )
+            .store_snapshot(
+                &self.commit_latency_histogram,
+                self.commit_latency_total_micros,
+            );
+    }
+
     /// Records one outbound message of the given kind.
     pub(crate) fn record_send(&mut self, kind: MessageKind) {
         match kind {

@@ -15,7 +15,8 @@
 //! 4. **lock-discipline** — nothing blocks under a `parking_lot` guard;
 //!    nesting follows the order manifest (`lock_order.txt`)
 //! 5. **wire-exhaustiveness** — every `Message` variant appears in
-//!    encode, decode, and the roundtrip tests
+//!    encode, decode, and the roundtrip tests; every `escape-obs::Event`
+//!    variant appears in its encode and render arms and the event tests
 //!
 //! plus unsafe hygiene (`SAFETY:` comments, `#![deny(unsafe_code)]`).
 //!
@@ -60,6 +61,9 @@ pub fn check_file(file: &SourceFile, manifest: &[String]) -> Vec<Finding> {
     findings.extend(rules::wbs::check(file));
     findings.extend(rules::locks::check(file, manifest));
     findings.extend(rules::unsafety::check(file));
+    if file.path.ends_with("escape-obs/src/event.rs") {
+        findings.extend(rules::wire::check_events(file));
+    }
     apply_waivers(file, &mut findings);
     findings
 }
@@ -140,6 +144,9 @@ pub fn run_workspace(root: &Path) -> io::Result<Report> {
         findings.extend(rules::unsafety::check(file));
         if file.path.ends_with("/src/lib.rs") {
             findings.extend(rules::unsafety::check_crate_root(file));
+        }
+        if file.path.ends_with("escape-obs/src/event.rs") {
+            findings.extend(rules::wire::check_events(file));
         }
         findings.extend(
             wire_findings

@@ -7,6 +7,14 @@
 //! codec's `match` non-exhaustive (compiler catches encode) but nothing
 //! forces a decode arm tag or a roundtrip test — a silent
 //! forward-compatibility hole on the wire.
+//!
+//! The same rule covers the observability taxonomy ([`check_events`]):
+//! every `escape-obs::Event` variant must appear in `fn encode`,
+//! `fn render`, and the file's tests. The exhaustive `match`es there
+//! keep the compiler honest for encode/render, but nothing else forces a
+//! new event into the test corpus — and an untested variant is exactly
+//! the one whose encoding silently changes and breaks the byte-identical
+//! determinism comparison.
 
 use crate::lexer::{SourceFile, TokenKind};
 use crate::report::{Finding, Rule};
@@ -121,6 +129,69 @@ pub fn check(message: &SourceFile, codec: &SourceFile) -> Vec<Finding> {
     findings
 }
 
+/// Checks `events` (escape-obs/src/event.rs): every `Event` variant must
+/// appear in `fn encode`, `fn render`, and this file's tests.
+pub fn check_events(events: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    let variants = enum_variants(events, "Event");
+    if variants.is_empty() {
+        findings.push(Finding::new(
+            Rule::Wire,
+            &events.path,
+            1,
+            "could not locate `enum Event` — the event rule has nothing to \
+             check against"
+                .to_string(),
+        ));
+        return findings;
+    }
+
+    let mut require_fn = |name: &str| -> Option<(usize, usize)> {
+        let span = fn_block(events, name);
+        if span.is_none() {
+            findings.push(Finding::new(
+                Rule::Wire,
+                &events.path,
+                1,
+                format!("could not locate `fn {name}` for the Event taxonomy"),
+            ));
+        }
+        span
+    };
+    let encode = require_fn("encode");
+    let render = require_fn("render");
+
+    for (variant, line) in &variants {
+        for (what, span) in [("encode", encode), ("render", render)] {
+            if let Some(span) = span {
+                if !contains_path(events, span, "Event", variant) {
+                    findings.push(Finding::new(
+                        Rule::Wire,
+                        &events.path,
+                        events.line_of(span.0),
+                        format!("Event::{variant} has no {what} arm"),
+                    ));
+                }
+            }
+        }
+        let tested = events
+            .test_regions
+            .iter()
+            .any(|span| contains_ident(events, *span, variant));
+        if !tested {
+            findings.push(Finding::new(
+                Rule::Wire,
+                &events.path,
+                *line,
+                format!("Event::{variant} never appears in this file's tests"),
+            ));
+        }
+    }
+
+    findings
+}
+
 /// Variant names (and lines) of `enum <name> { ... }`.
 pub fn enum_variants(file: &SourceFile, name: &str) -> Vec<(String, usize)> {
     let Some((open, close)) = item_block(file, "enum", name) else {
@@ -156,6 +227,36 @@ fn item_block(file: &SourceFile, kw: &str, name: &str) -> Option<(usize, usize)>
                             .map(|&(o, c)| (o, c));
                     }
                     TokenKind::Punct(b';') => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The `{..}` span of the first `fn <name>(..) .. { ... }` in the file.
+fn fn_block(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if toks[i].kind == TokenKind::Ident
+            && file.tok_str(&toks[i]) == "fn"
+            && text(file, i + 1) == name
+        {
+            // Scan past the parameter list and return type to the body.
+            let mut parens = 0i32;
+            for t in toks.iter().skip(i + 2) {
+                match t.kind {
+                    TokenKind::Punct(b'(') => parens += 1,
+                    TokenKind::Punct(b')') => parens -= 1,
+                    TokenKind::Punct(b'{') if parens == 0 => {
+                        return file
+                            .brace_pairs
+                            .iter()
+                            .find(|&&(o, _)| o == t.start)
+                            .map(|&(o, c)| (o, c));
+                    }
+                    TokenKind::Punct(b';') if parens == 0 => break,
                     _ => {}
                 }
             }

@@ -1,0 +1,36 @@
+//! Known-bad fixture for the event-exhaustiveness half of the wire
+//! rule: `NodeKilled` hides behind a wildcard in encode, is missing from
+//! render entirely, and never appears in the tests.
+
+pub enum Event {
+    LeaderElected { term: u64 },
+    NodeKilled,
+}
+
+impl Event {
+    pub fn encode(&self, out: &mut String) {
+        match self {
+            Event::LeaderElected { term } => out.push_str(&format!("leader_elected term={term}")),
+            _ => out.push_str("unknown"),
+        }
+    }
+
+    pub fn render(&self) -> String {
+        match self {
+            Event::LeaderElected { term } => format!("won the election for term {term}"),
+            _ => "something happened".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut line = String::new();
+        Event::LeaderElected { term: 1 }.encode(&mut line);
+        assert!(!line.is_empty());
+    }
+}

@@ -173,6 +173,30 @@ fn wire_rule_trips_on_each_coverage_hole() {
         .any(|f| f.message.contains("`from` is missing from encode")));
 }
 
+// ---- event-exhaustiveness ----------------------------------------------
+
+fn events_fixture(text: &str) -> Vec<Finding> {
+    let events = parse("crates/escape-obs/src/event.rs", "escape-obs", text);
+    rules::wire::check_events(&events)
+}
+
+#[test]
+fn event_rule_passes_full_coverage() {
+    let findings = events_fixture(include_str!("fixtures/events_good.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn event_rule_trips_on_each_coverage_hole() {
+    let findings = events_fixture(include_str!("fixtures/events_bad.rs"));
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings.iter().any(|f| f.message.contains("NodeKilled has no encode arm")));
+    assert!(findings.iter().any(|f| f.message.contains("NodeKilled has no render arm")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("NodeKilled never appears in this file's tests")));
+}
+
 // ---- unsafe-annotation -------------------------------------------------
 
 #[test]

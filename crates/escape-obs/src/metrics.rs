@@ -1,0 +1,504 @@
+//! The unified metrics registry: counters, gauges, and fixed-bucket
+//! histograms keyed by name + labels, rendered as Prometheus text
+//! exposition.
+//!
+//! Instruments are `Arc`-handed atomics — a caller resolves its handle
+//! once (outside any hot path) and bumps it lock-free thereafter; the
+//! registry mutex is only taken on registration and render. Label sets
+//! are ordered, so two scrapes of the same state render byte-identical
+//! text.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// An ordered label set (`node`, `group`, `peer`, ...). Keys are static
+/// strings; insertion keeps the set sorted by key so equal sets compare
+/// and render identically however they were built.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Labels {
+    pairs: Vec<(&'static str, String)>,
+}
+
+impl Labels {
+    /// The empty label set.
+    pub fn new() -> Self {
+        Labels::default()
+    }
+
+    /// Returns the set with `key` set to `value` (replacing any previous
+    /// value for `key`).
+    pub fn with(mut self, key: &'static str, value: impl std::fmt::Display) -> Self {
+        let value = value.to_string();
+        match self.pairs.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => {
+                if let Some(slot) = self.pairs.get_mut(i) {
+                    slot.1 = value;
+                }
+            }
+            Err(i) => self.pairs.insert(i, (key, value)),
+        }
+        self
+    }
+
+    /// `true` when no labels are set.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Renders `{k="v",...}`, or nothing when empty. Values are escaped
+    /// per the exposition format (backslash, quote, newline).
+    fn render(&self, out: &mut String) {
+        if self.pairs.is_empty() {
+            return;
+        }
+        out.push('{');
+        for (i, (key, value)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{key}=\"");
+            for c in value.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+    }
+}
+
+/// A monotonically increasing counter. `store` exists for *absorbing*
+/// externally accumulated totals (e.g. `NodeMetrics` snapshots), where
+/// the source is itself monotone.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites with an externally accumulated total.
+    pub fn store(&self, total: u64) {
+        self.value.store(total, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time measurement (queue depth, segment count).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the current value.
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram: `bounds` are inclusive upper bounds,
+/// values above the last bound land in the overflow bucket. Buckets are
+/// stored non-cumulative and rendered cumulative (with `+Inf`), matching
+/// the exposition format.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` slots; the last is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A copied-out histogram state, for merging and assertions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds of the finite buckets.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts (`bounds.len() + 1`, last = overflow).
+    pub buckets: Vec<u64>,
+    /// Sum of observed values (0 when absorbed from a source that does
+    /// not track sums).
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self` (bucket-wise). Mismatched bounds leave
+    /// `self` unchanged and return `false`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) -> bool {
+        if self.bounds != other.bounds || self.buckets.len() != other.buckets.len() {
+            return false;
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        true
+    }
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(self.bounds.len());
+        if let Some(bucket) = self.buckets.get(slot) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Overwrites the buckets with externally accumulated counts (e.g. a
+    /// `NodeMetrics` histogram array). Extra source slots are ignored;
+    /// missing ones zero. `sum` is the source's running total when it
+    /// tracks one, else 0.
+    pub fn store_snapshot(&self, counts: &[u64], sum: u64) {
+        let mut total = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let v = counts.get(i).copied().unwrap_or(0);
+            bucket.store(v, Ordering::Relaxed);
+            total += v;
+        }
+        self.sum.store(sum, Ordering::Relaxed);
+        self.count.store(total, Ordering::Relaxed);
+    }
+
+    /// Copies the current state out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The registry: `(name, labels) → instrument`, with deterministic
+/// iteration order for rendering.
+#[derive(Debug, Default)]
+pub struct Registry {
+    series: Mutex<BTreeMap<String, BTreeMap<Labels, Instrument>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or creates the counter `name{labels}`. If the series exists
+    /// as a different instrument type, a detached (unregistered) counter
+    /// is returned so the caller stays functional; the registered series
+    /// keeps its original type.
+    pub fn counter(&self, name: &str, labels: &Labels) -> Arc<Counter> {
+        let mut series = self.series.lock().unwrap_or_else(PoisonError::into_inner);
+        let slot = series
+            .entry(name.to_string())
+            .or_default()
+            .entry(labels.clone())
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::default())));
+        match slot {
+            Instrument::Counter(c) => Arc::clone(c),
+            _ => Arc::new(Counter::default()),
+        }
+    }
+
+    /// Gets or creates the gauge `name{labels}` (type-mismatch behaviour
+    /// as for [`Registry::counter`]).
+    pub fn gauge(&self, name: &str, labels: &Labels) -> Arc<Gauge> {
+        let mut series = self.series.lock().unwrap_or_else(PoisonError::into_inner);
+        let slot = series
+            .entry(name.to_string())
+            .or_default()
+            .entry(labels.clone())
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::default())));
+        match slot {
+            Instrument::Gauge(g) => Arc::clone(g),
+            _ => Arc::new(Gauge::default()),
+        }
+    }
+
+    /// Gets or creates the histogram `name{labels}` with the given
+    /// inclusive bucket bounds (type- or bounds-mismatch returns a
+    /// detached instrument, as for [`Registry::counter`]).
+    pub fn histogram(&self, name: &str, labels: &Labels, bounds: &[u64]) -> Arc<Histogram> {
+        let mut series = self.series.lock().unwrap_or_else(PoisonError::into_inner);
+        let slot = series
+            .entry(name.to_string())
+            .or_default()
+            .entry(labels.clone())
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::new(bounds))));
+        match slot {
+            Instrument::Histogram(h) if h.bounds == bounds => Arc::clone(h),
+            _ => Arc::new(Histogram::new(bounds)),
+        }
+    }
+
+    /// Sums one histogram metric across **all** its label sets (the
+    /// cross-group aggregation `ShardedNode` reports). `None` when the
+    /// name is unknown, not a histogram, or its series disagree on
+    /// bounds.
+    pub fn aggregate_histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        let series = self.series.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut merged: Option<HistogramSnapshot> = None;
+        for instrument in series.get(name)?.values() {
+            let Instrument::Histogram(h) = instrument else {
+                return None;
+            };
+            let snap = h.snapshot();
+            match &mut merged {
+                None => merged = Some(snap),
+                Some(acc) => {
+                    if !acc.merge(&snap) {
+                        return None;
+                    }
+                }
+            }
+        }
+        merged
+    }
+
+    /// The current value of counter `name{labels}`, if registered.
+    pub fn counter_value(&self, name: &str, labels: &Labels) -> Option<u64> {
+        let series = self.series.lock().unwrap_or_else(PoisonError::into_inner);
+        match series.get(name)?.get(labels)? {
+            Instrument::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// The current value of gauge `name{labels}`, if registered.
+    pub fn gauge_value(&self, name: &str, labels: &Labels) -> Option<u64> {
+        let series = self.series.lock().unwrap_or_else(PoisonError::into_inner);
+        match series.get(name)?.get(labels)? {
+            Instrument::Gauge(g) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// Renders the whole registry as Prometheus text exposition
+    /// (version 0.0.4): one `# TYPE` line per metric, series in label
+    /// order, histograms as cumulative `_bucket{le=...}` + `_sum` +
+    /// `_count`.
+    pub fn render(&self) -> String {
+        let series = self.series.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = String::new();
+        for (name, by_labels) in series.iter() {
+            let Some(first) = by_labels.values().next() else {
+                continue;
+            };
+            let _ = writeln!(out, "# TYPE {name} {}", first.type_name());
+            for (labels, instrument) in by_labels.iter() {
+                match instrument {
+                    Instrument::Counter(c) => {
+                        out.push_str(name);
+                        labels.render(&mut out);
+                        let _ = writeln!(out, " {}", c.get());
+                    }
+                    Instrument::Gauge(g) => {
+                        out.push_str(name);
+                        labels.render(&mut out);
+                        let _ = writeln!(out, " {}", g.get());
+                    }
+                    Instrument::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cumulative = 0u64;
+                        for (i, bucket) in snap.buckets.iter().enumerate() {
+                            cumulative += bucket;
+                            let le = labels.clone().with(
+                                "le",
+                                match snap.bounds.get(i) {
+                                    Some(bound) => bound.to_string(),
+                                    None => "+Inf".to_string(),
+                                },
+                            );
+                            let _ = write!(out, "{name}_bucket");
+                            le.render(&mut out);
+                            let _ = writeln!(out, " {cumulative}");
+                        }
+                        let _ = write!(out, "{name}_sum");
+                        labels.render(&mut out);
+                        let _ = writeln!(out, " {}", snap.sum);
+                        let _ = write!(out, "{name}_count");
+                        labels.render(&mut out);
+                        let _ = writeln!(out, " {}", snap.count);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_sort_and_replace() {
+        let a = Labels::new().with("node", 1).with("group", 2);
+        let b = Labels::new().with("group", 2).with("node", 1);
+        assert_eq!(a, b, "insertion order must not matter");
+        let replaced = a.clone().with("node", 9);
+        let mut out = String::new();
+        replaced.render(&mut out);
+        assert_eq!(out, "{group=\"2\",node=\"9\"}");
+    }
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let registry = Registry::new();
+        let labels = Labels::new().with("node", 1);
+        let c = registry.counter("escape_test_total", &labels);
+        c.inc();
+        c.add(4);
+        assert_eq!(registry.counter_value("escape_test_total", &labels), Some(5));
+        let g = registry.gauge("escape_test_depth", &labels);
+        g.set(17);
+        assert_eq!(registry.gauge_value("escape_test_depth", &labels), Some(17));
+    }
+
+    #[test]
+    fn histogram_buckets_observe_and_snapshot() {
+        let registry = Registry::new();
+        let h = registry.histogram("escape_lat", &Labels::new(), &[10, 100]);
+        h.observe(5);
+        h.observe(10); // inclusive bound
+        h.observe(50);
+        h.observe(1000); // overflow
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![2, 1, 1]);
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 5 + 10 + 50 + 1000);
+    }
+
+    #[test]
+    fn store_snapshot_absorbs_external_arrays() {
+        let registry = Registry::new();
+        let h = registry.histogram("escape_batches", &Labels::new(), &[1, 4]);
+        h.store_snapshot(&[3, 2, 1], 42);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![3, 2, 1]);
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 42);
+    }
+
+    #[test]
+    fn aggregate_histogram_merges_across_label_sets() {
+        let registry = Registry::new();
+        let bounds = [10u64, 100];
+        let g0 = registry.histogram("escape_lat", &Labels::new().with("group", 0), &bounds);
+        let g1 = registry.histogram("escape_lat", &Labels::new().with("group", 1), &bounds);
+        g0.observe(5);
+        g0.observe(500);
+        g1.observe(50);
+        let merged = registry.aggregate_histogram("escape_lat").expect("merges");
+        assert_eq!(merged.buckets, vec![1, 1, 1]);
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 555);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_cumulative() {
+        let registry = Registry::new();
+        let labels = Labels::new().with("node", 1);
+        registry.counter("escape_b_total", &labels).add(2);
+        registry.gauge("escape_a_depth", &labels).set(3);
+        let h = registry.histogram("escape_c_lat", &labels, &[10]);
+        h.observe(4);
+        h.observe(40);
+        let text = registry.render();
+        let expect = "\
+# TYPE escape_a_depth gauge
+escape_a_depth{node=\"1\"} 3
+# TYPE escape_b_total counter
+escape_b_total{node=\"1\"} 2
+# TYPE escape_c_lat histogram
+escape_c_lat_bucket{le=\"10\",node=\"1\"} 1
+escape_c_lat_bucket{le=\"+Inf\",node=\"1\"} 2
+escape_c_lat_sum{node=\"1\"} 44
+escape_c_lat_count{node=\"1\"} 2
+";
+        assert_eq!(text, expect);
+        assert_eq!(registry.render(), text, "second render must be identical");
+    }
+
+    #[test]
+    fn type_mismatch_returns_detached_instrument() {
+        let registry = Registry::new();
+        let labels = Labels::new();
+        registry.counter("escape_x", &labels).inc();
+        // Asking for the same series as a gauge must not corrupt it.
+        registry.gauge("escape_x", &labels).set(99);
+        assert_eq!(registry.counter_value("escape_x", &labels), Some(1));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut out = String::new();
+        Labels::new().with("node", "a\"b\\c\nd").render(&mut out);
+        assert_eq!(out, "{node=\"a\\\"b\\\\c\\nd\"}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Bounded per-node event ring: the newest `capacity` events win, and
+//! everything evicted is *accounted* — an overflow counter says exactly
+//! how many events the window lost, so a truncated trace can never be
+//! mistaken for a complete one.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+use crate::event::{Event, TimedEvent};
+
+/// Default ring capacity: generous for a failover window (a whole
+/// election is tens of events) while bounding a long-lived node's
+/// footprint to a few tens of kilobytes.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+struct Ring {
+    buf: VecDeque<TimedEvent>,
+    capacity: usize,
+    /// Events evicted to make room (the overflow account).
+    dropped: u64,
+}
+
+/// A thread-safe bounded event log. Pushes are two pointer moves under a
+/// short mutex; snapshots copy out so readers never hold the recorder up.
+pub struct EventLog {
+    events: Mutex<Ring>,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (len, dropped) = {
+            let ring = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+            (ring.buf.len(), ring.dropped)
+        };
+        f.debug_struct("EventLog")
+            .field("len", &len)
+            .field("dropped", &dropped)
+            .finish()
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    /// An empty log retaining at most `capacity` events (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            events: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(capacity.clamp(1, 4096)),
+                capacity: capacity.max(1),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Records one event, evicting (and accounting) the oldest when full.
+    pub fn push(&self, at_micros: u64, event: Event) {
+        let mut ring = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.buf.len() >= ring.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(TimedEvent { at_micros, event });
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TimedEvent> {
+        let ring = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        ring.buf.iter().copied().collect()
+    }
+
+    /// Events evicted so far (the overflow account).
+    pub fn dropped(&self) -> u64 {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .dropped
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .buf
+            .len()
+    }
+
+    /// `true` when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole retained log in the stable line format (one
+    /// [`TimedEvent::encode_line`] per event) — the byte stream the
+    /// determinism test compares across seeded runs.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for timed in self.snapshot() {
+            timed.encode_line(&mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_in_push_order() {
+        let log = EventLog::new(8);
+        log.push(1, Event::NodeKilled);
+        log.push(2, Event::CampaignStarted { term: 2 });
+        log.push(3, Event::LeaderElected { term: 2 });
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].at_micros, 1);
+        assert_eq!(events[2].event, Event::LeaderElected { term: 2 });
+        assert_eq!(log.dropped(), 0);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn wraparound_evicts_oldest_and_accounts_overflow() {
+        let log = EventLog::new(4);
+        for term in 0..10u64 {
+            log.push(term, Event::CampaignStarted { term });
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.dropped(), 6, "evictions must be accounted");
+        let events = log.snapshot();
+        // The newest four survive, oldest first.
+        let terms: Vec<u64> = events
+            .iter()
+            .map(|t| match t.event {
+                Event::CampaignStarted { term } => term,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(terms, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn capacity_floors_at_one() {
+        let log = EventLog::new(0);
+        log.push(1, Event::NodeKilled);
+        log.push(2, Event::NodeRestarted);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.snapshot()[0].event, Event::NodeRestarted);
+    }
+
+    #[test]
+    fn encode_concatenates_stable_lines() {
+        let log = EventLog::new(8);
+        log.push(10, Event::ElectionTimeout { term: 1 });
+        log.push(20, Event::CampaignStarted { term: 2 });
+        assert_eq!(
+            log.encode(),
+            "10 election_timeout term=1\n20 campaign_started term=2\n"
+        );
+    }
+}

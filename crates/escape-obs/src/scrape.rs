@@ -1,0 +1,195 @@
+//! A minimal Prometheus scrape endpoint: one listener thread, one
+//! render per request, no HTTP machinery beyond what `curl` and a
+//! Prometheus scraper need.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use escape_obs::{Registry, ScrapeServer};
+//!
+//! let registry = Arc::new(Registry::new());
+//! let server = ScrapeServer::serve("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+//! println!("curl http://{}/metrics", server.local_addr());
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::Registry;
+
+/// A running scrape listener. Dropping it stops the thread.
+#[derive(Debug)]
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Binds `addr` and serves `registry.render()` to every HTTP GET
+    /// (any path — scrapers use `/metrics`, humans whatever they type).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn serve(addr: impl ToSocketAddrs, registry: Arc<Registry>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("escape-obs-scrape".to_string())
+            .spawn(move || accept_loop(&listener, &registry, &thread_stop))?;
+        Ok(ScrapeServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return; // already stopped
+        }
+        // Wake the blocking accept with one throwaway connection.
+        if let Ok(stream) = TcpStream::connect(self.addr) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, registry: &Registry, stop: &AtomicBool) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        serve_one(stream, registry);
+    }
+}
+
+/// Reads the request head (discarded — every path gets the metrics) and
+/// writes one `200 OK` with the exposition body. Errors drop the
+/// connection; the scraper retries next interval.
+fn serve_one(mut stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut head = [0u8; 1024];
+    let mut read = 0usize;
+    // Read until the blank line ending the request head, a full buffer,
+    // or a timeout — whichever comes first.
+    while read < head.len() {
+        let Some(buf) = head.get_mut(read..) else {
+            break;
+        };
+        match stream.read(buf) {
+            Ok(0) => return, // peer closed before sending a request
+            Ok(n) => {
+                read += n;
+                if head
+                    .get(..read)
+                    .is_some_and(|h| h.windows(4).any(|w| w == b"\r\n\r\n"))
+                {
+                    break;
+                }
+            }
+            Err(_) => break, // timeout or reset: answer with what we have
+        }
+    }
+    let body = registry.render();
+    let header = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Labels;
+
+    fn scrape(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    #[test]
+    fn serves_prometheus_text_to_http_gets() {
+        let registry = Arc::new(Registry::new());
+        registry
+            .counter(
+                "escape_wal_fsync_total",
+                &Labels::new().with("node", 1),
+            )
+            .add(3);
+        let server =
+            ScrapeServer::serve("127.0.0.1:0", Arc::clone(&registry)).expect("bind");
+        let response = scrape(
+            server.local_addr(),
+            "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+        );
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response.contains("escape_wal_fsync_total{node=\"1\"} 3"));
+    }
+
+    #[test]
+    fn scrapes_observe_registry_growth() {
+        let registry = Arc::new(Registry::new());
+        let server =
+            ScrapeServer::serve("127.0.0.1:0", Arc::clone(&registry)).expect("bind");
+        let before = scrape(server.local_addr(), "GET / HTTP/1.1\r\n\r\n");
+        assert!(!before.contains("escape_late_total"));
+        registry.counter("escape_late_total", &Labels::new()).inc();
+        let after = scrape(server.local_addr(), "GET / HTTP/1.1\r\n\r\n");
+        assert!(after.contains("escape_late_total 1"));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins() {
+        let registry = Arc::new(Registry::new());
+        let mut server =
+            ScrapeServer::serve("127.0.0.1:0", Arc::clone(&registry)).expect("bind");
+        server.shutdown();
+        server.shutdown(); // second call is a no-op
+        assert!(TcpStream::connect(server.local_addr())
+            .map(|mut s| {
+                let _ = s.write_all(b"GET / HTTP/1.1\r\n\r\n");
+                let mut out = String::new();
+                s.read_to_string(&mut out).map(|_| out).unwrap_or_default()
+            })
+            .map(|r| r.is_empty())
+            .unwrap_or(true));
+    }
+}

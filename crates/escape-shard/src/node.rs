@@ -236,6 +236,30 @@ impl ShardedNode {
         rx.recv_timeout(REPLY_TIMEOUT).ok()
     }
 
+    /// Publishes every hosted group's engine counters and histograms into
+    /// `registry`, one label set per group (`node` = this server, `group`
+    /// = the group id), plus the shared mesh's process-wide frame-drop
+    /// total under the bare `node` label. Per-group series keep their
+    /// identity; cross-group rollups come from the registry's
+    /// aggregation (e.g.
+    /// [`aggregate_histogram`](escape_obs::Registry::aggregate_histogram)).
+    ///
+    /// Groups whose engine thread does not answer within the reply
+    /// timeout are skipped — their previously published values simply go
+    /// stale rather than blocking the scrape.
+    pub fn publish_metrics(&self, registry: &escape_obs::Registry) {
+        let node_labels = escape_obs::Labels::new().with("node", self.id.get());
+        for group in self.map().groups() {
+            if let Some(status) = self.status(group) {
+                let labels = node_labels.clone().with("group", group.get());
+                status.metrics.publish(registry, &labels);
+            }
+        }
+        registry
+            .counter("escape_transport_mesh_frames_dropped_total", &node_labels)
+            .store(self.mesh.frames_dropped());
+    }
+
     /// Proposes `command` (whose routing key is `key`) into `group`,
     /// **validating the route first**: a client that addressed the wrong
     /// group gets [`ShardError::Redirect`] naming the owner instead of a

@@ -306,3 +306,78 @@ fn propose_batch_routes_and_batches_per_shard() {
         node.shutdown();
     }
 }
+
+/// The observability satellite: publishing one server's per-group engine
+/// metrics yields distinct per-group label sets in the registry, and the
+/// registry's cross-group histogram aggregation merges them — the
+/// merged count equals the sum of the per-group counts.
+#[test]
+fn published_group_histograms_merge_across_groups() {
+    use escape_obs::{Labels, Registry};
+
+    let shards = 3;
+    let (addrs, listeners) = loopback_listeners(3);
+    let nodes: Vec<Option<ShardedNode>> = spawn_cluster(3, shards, &addrs, &listeners)
+        .into_iter()
+        .map(Some)
+        .collect();
+    let groups: Vec<GroupId> = nodes[0].as_ref().unwrap().map().groups().collect();
+    let leaders = wait_for_all_leaders(&nodes, &groups, Duration::from_secs(10));
+
+    // Commit a few writes into every group through its leader so each
+    // group's propose-batch histogram has samples.
+    for group in &groups {
+        let node = nodes[leaders[group]].as_ref().unwrap();
+        for key in keys_for(node.map(), *group, 3) {
+            put(node, *group, &key, b"observed").expect("write commits");
+        }
+    }
+
+    for (server, node) in nodes.iter().enumerate() {
+        let node = node.as_ref().unwrap();
+        let registry = Registry::new();
+        node.publish_metrics(&registry);
+
+        // One label set per hosted group, each retaining its identity.
+        let mut per_group_total = 0u64;
+        for group in &groups {
+            let labels = Labels::new()
+                .with("node", node.id().get())
+                .with("group", group.get());
+            let batches = registry
+                .counter_value("escape_propose_batches_total", &labels)
+                .unwrap_or_else(|| {
+                    panic!("server {server}: group {group} published no counter")
+                });
+            per_group_total += batches;
+        }
+
+        // The cross-group merge must account for every group's samples.
+        let merged = registry
+            .aggregate_histogram("escape_propose_batch_size")
+            .expect("homogeneous histograms must merge");
+        assert_eq!(
+            merged.count, per_group_total,
+            "server {server}: merged histogram count must equal the \
+             sum of per-group batch counts"
+        );
+        // The leaders committed writes, so at least one group sampled.
+        if leaders.values().any(|l| *l == server) {
+            assert!(merged.count > 0, "server {server} led a group yet saw no batches");
+        }
+
+        // The exposition renders every group's series distinctly.
+        let text = registry.render();
+        for group in &groups {
+            let needle = format!("group=\"{}\"", group.get());
+            assert!(
+                text.contains(&needle),
+                "server {server}: render lacks {needle}"
+            );
+        }
+    }
+
+    for node in nodes.into_iter().flatten() {
+        node.shutdown();
+    }
+}

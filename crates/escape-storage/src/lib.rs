@@ -50,7 +50,7 @@ pub mod wal;
 
 pub use record::WalRecord;
 pub use store::WalStorage;
-pub use wal::{Wal, WalOptions};
+pub use wal::{Wal, WalInstruments, WalOptions};
 
 #[cfg(test)]
 pub(crate) mod test_util {

@@ -101,6 +101,13 @@ impl WalStorage {
     pub fn dir(&self) -> &Path {
         &self.dir
     }
+
+    /// Attaches observability instruments to the underlying WAL (fsync
+    /// latency, live segment count). See
+    /// [`WalInstruments::register`](crate::wal::WalInstruments::register).
+    pub fn instrument(&mut self, instruments: crate::wal::WalInstruments) {
+        self.wal.instrument(instruments);
+    }
 }
 
 

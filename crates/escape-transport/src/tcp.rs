@@ -50,7 +50,8 @@ use escape_core::engine::Node;
 use escape_core::message::Message;
 use escape_core::statemachine::StateMachine;
 use escape_core::types::{GroupId, ServerId};
-use escape_storage::WalStorage;
+use escape_obs::{Counter, Event, Gauge, Labels, Observer, Registry};
+use escape_storage::{WalInstruments, WalStorage};
 use escape_wire::{write_frame, Decode, Encode, Envelope, FrameReader};
 
 use crate::clock::RuntimeClock;
@@ -70,6 +71,70 @@ const PENDING_MAX_BYTES: usize = 1 << 20;
 const FLUSH_INTERVAL: Duration = Duration::from_millis(20);
 /// How many queued frames one `write_vectored` gathers per attempt.
 const WRITEV_MAX_FRAMES: usize = 64;
+
+/// Observability bundle a transport node (or mesh) is spawned with: the
+/// typed-event sink plus the metrics registry and the base label set
+/// (`node`, plus `group` when sharded) its series are registered under.
+#[derive(Clone, Debug)]
+pub struct NodeObs {
+    /// Receives [`Event`]s (frame drops, peer connects/disconnects, and —
+    /// via the engine — elections, leases, WAL barriers).
+    pub observer: Arc<dyn Observer>,
+    /// Registry the transport/storage instruments register into.
+    pub registry: Arc<Registry>,
+    /// Base labels; per-peer series append a `peer` label.
+    pub labels: Labels,
+}
+
+/// Per-peer observability hooks carried inside the [`PeerLink`], so the
+/// drop and reconnect sites can emit while already holding the `link`
+/// lock (the event ring's `events` lock sits below `link` in the lock
+/// manifest).
+#[derive(Clone, Debug)]
+struct LinkInstruments {
+    observer: Arc<dyn Observer>,
+    /// Timestamps for emitted events: monotonic µs since mesh start.
+    clock: RuntimeClock,
+    peer: u32,
+    /// Frames shed toward this peer (queue bound + broken partials).
+    dropped_total: Arc<Counter>,
+    /// Shed frames per million enqueued — the drop *rate*, readable
+    /// without rate() support on the scraper side.
+    drop_ppm: Arc<Gauge>,
+    /// Bytes currently queued for this peer.
+    queue_depth: Arc<Gauge>,
+    /// Fresh connections installed by the flusher (first connect counts).
+    reconnects: Arc<Counter>,
+}
+
+impl LinkInstruments {
+    fn register(obs: &NodeObs, clock: RuntimeClock, peer: ServerId) -> Self {
+        let labels = obs.labels.clone().with("peer", peer.get());
+        LinkInstruments {
+            observer: Arc::clone(&obs.observer),
+            clock,
+            peer: peer.get(),
+            dropped_total: obs
+                .registry
+                .counter("escape_transport_frames_dropped_total", &labels),
+            drop_ppm: obs
+                .registry
+                .gauge("escape_transport_frame_drop_ppm", &labels),
+            queue_depth: obs
+                .registry
+                .gauge("escape_transport_queue_depth_bytes", &labels),
+            reconnects: obs
+                .registry
+                .counter("escape_transport_reconnects_total", &labels),
+        }
+    }
+
+    fn emit(&self, event: Event) {
+        if self.observer.enabled() {
+            self.observer.record(self.clock.now().as_micros(), event);
+        }
+    }
+}
 
 /// One peer's outbound state: the live socket (if any, in non-blocking
 /// mode), frames buffered while the socket is down or full, and the
@@ -95,12 +160,38 @@ struct PeerLink {
     /// Frames shed by the bound or a broken connection — the drops that
     /// used to be silent. Monotone over the link's lifetime.
     dropped: u64,
+    /// Frames ever enqueued, the drop-rate denominator. Monotone.
+    enqueued: u64,
+    /// Observability hooks; `None` keeps the link untouched.
+    obs: Option<LinkInstruments>,
 }
 
 impl PeerLink {
+    /// Counts one shed frame in the local tally and, when instrumented,
+    /// on the registry (total + refreshed per-million rate) and the event
+    /// stream.
+    fn note_dropped(&mut self) {
+        self.dropped += 1;
+        if let Some(obs) = &self.obs {
+            obs.dropped_total.inc();
+            if let Some(ppm) = self.dropped.saturating_mul(1_000_000).checked_div(self.enqueued) {
+                obs.drop_ppm.set(ppm);
+            }
+            obs.emit(Event::FrameDropped { peer: obs.peer });
+        }
+    }
+
+    /// Refreshes the queue-depth gauge (no-op when uninstrumented).
+    fn note_queue_depth(&self) {
+        if let Some(obs) = &self.obs {
+            obs.queue_depth.set(self.pending_bytes as u64);
+        }
+    }
+
     fn enqueue(&mut self, frame: Bytes) {
         self.pending_bytes += frame.len();
         self.pending.push_back(frame);
+        self.enqueued += 1;
         // Bounded: drop the oldest *whole* frames — never the front one
         // while it is partially written, or the stream would carry half a
         // frame and desync the receiver's framing.
@@ -113,8 +204,9 @@ impl PeerLink {
                 break;
             };
             self.pending_bytes -= dropped.len();
-            self.dropped += 1;
+            self.note_dropped();
         }
+        self.note_queue_depth();
     }
 
     /// Drains as much pending data as the socket accepts right now,
@@ -155,11 +247,15 @@ impl PeerLink {
                         }
                     }
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.note_queue_depth();
+                    return Ok(());
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
         }
+        self.note_queue_depth();
         Ok(())
     }
 
@@ -168,14 +264,23 @@ impl PeerLink {
     /// socket — its prefix died in the old stream, and replaying the rest
     /// on a fresh connection would desync the receiver's framing.
     fn mark_broken(&mut self, now: Instant) {
+        let was_connected = self.stream.is_some();
         self.stream = None;
         if self.front_offset > 0 {
             if let Some(partial) = self.pending.pop_front() {
                 self.pending_bytes -= partial.len();
-                self.dropped += 1;
+                self.note_dropped();
             }
             self.front_offset = 0;
         }
+        if was_connected {
+            // A live connection broke (not just another failed connect
+            // attempt during backoff — those would spam the stream).
+            if let Some(obs) = &self.obs {
+                obs.emit(Event::PeerDisconnected { peer: obs.peer });
+            }
+        }
+        self.note_queue_depth();
         let backoff = self.backoff.unwrap_or(BACKOFF_INITIAL);
         self.next_attempt = Some(now + backoff);
         self.backoff = Some((backoff * 2).min(BACKOFF_MAX));
@@ -185,6 +290,10 @@ impl PeerLink {
     fn mark_healthy(&mut self) {
         self.next_attempt = None;
         self.backoff = None;
+        if let Some(obs) = &self.obs {
+            obs.reconnects.inc();
+            obs.emit(Event::PeerConnected { peer: obs.peer });
+        }
     }
 
     fn may_attempt(&self, now: Instant) -> bool {
@@ -213,10 +322,40 @@ impl TcpMesh {
     /// address (`from` itself may appear; it is skipped) and starts the
     /// background connect-and-flush thread.
     pub fn start(from: ServerId, addrs: &HashMap<ServerId, SocketAddr>) -> Arc<TcpMesh> {
+        Self::start_inner(from, addrs, None)
+    }
+
+    /// [`TcpMesh::start`] with per-peer instrumentation: each link gets
+    /// `escape_transport_*` series labelled with its peer id and emits
+    /// connectivity/drop events into `obs.observer`. Registration (which
+    /// takes the registry's `series` lock) happens here, before any link
+    /// lock exists — under the link guard only atomic updates remain.
+    pub fn start_observed(
+        from: ServerId,
+        addrs: &HashMap<ServerId, SocketAddr>,
+        obs: NodeObs,
+    ) -> Arc<TcpMesh> {
+        Self::start_inner(from, addrs, Some(obs))
+    }
+
+    fn start_inner(
+        from: ServerId,
+        addrs: &HashMap<ServerId, SocketAddr>,
+        obs: Option<NodeObs>,
+    ) -> Arc<TcpMesh> {
+        let clock = RuntimeClock::start();
         let peers = addrs
             .iter()
             .filter(|(id, _)| **id != from)
-            .map(|(id, addr)| (*id, (*addr, Mutex::new(PeerLink::default()))))
+            .map(|(id, addr)| {
+                let link = PeerLink {
+                    obs: obs
+                        .as_ref()
+                        .map(|obs| LinkInstruments::register(obs, clock, *id)),
+                    ..PeerLink::default()
+                };
+                (*id, (*addr, Mutex::new(link)))
+            })
             .collect();
         let mesh = Arc::new(TcpMesh {
             from,
@@ -511,6 +650,52 @@ impl TcpNode {
         state_machine: Box<dyn StateMachine>,
         data_dir: Option<&Path>,
     ) -> Self {
+        Self::spawn_inner(id, listener, addrs, spec, seed, state_machine, data_dir, None)
+    }
+
+    /// [`TcpNode::spawn`] with observability wired through every layer:
+    /// the engine records typed [`Event`]s into `obs.observer`, the WAL
+    /// (when `data_dir` is set) registers fsync-latency and segment-count
+    /// instruments, and the mesh registers per-peer drop/queue/reconnect
+    /// series — all under `obs.labels`.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`TcpNode::spawn`].
+    #[allow(clippy::too_many_arguments)] // spawn's documented surface + the obs bundle
+    pub fn spawn_observed(
+        id: ServerId,
+        listener: TcpListener,
+        addrs: HashMap<ServerId, SocketAddr>,
+        spec: ProtocolSpec,
+        seed: u64,
+        state_machine: Box<dyn StateMachine>,
+        data_dir: Option<&Path>,
+        obs: NodeObs,
+    ) -> Self {
+        Self::spawn_inner(
+            id,
+            listener,
+            addrs,
+            spec,
+            seed,
+            state_machine,
+            data_dir,
+            Some(obs),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal fan-in for the two spawn surfaces
+    fn spawn_inner(
+        id: ServerId,
+        listener: TcpListener,
+        addrs: HashMap<ServerId, SocketAddr>,
+        spec: ProtocolSpec,
+        seed: u64,
+        state_machine: Box<dyn StateMachine>,
+        data_dir: Option<&Path>,
+        obs: Option<NodeObs>,
+    ) -> Self {
         // lint:allow(panic): documented `# Panics` contract — the map must contain `id`
         let my_addr = *addrs.get(&id).expect("own address present");
         let ids: Vec<ServerId> = {
@@ -536,14 +721,23 @@ impl TcpNode {
             .policy(spec.build_policy(id, n, seed.wrapping_add(id.get() as u64)))
             .state_machine(state_machine)
             .options(ProtocolSpec::local_options());
+        if let Some(obs) = &obs {
+            builder = builder.observer(Arc::clone(&obs.observer));
+        }
         if let Some(dir) = data_dir {
-            let (storage, recovered) =
+            let (mut storage, recovered) =
                 // lint:allow(panic): fail-stop — a node that cannot recover its WAL must not serve
                 WalStorage::open(dir).expect("open/recover node data directory");
+            if let Some(obs) = &obs {
+                storage.instrument(WalInstruments::register(&obs.registry, &obs.labels));
+            }
             builder = builder.storage(Box::new(storage)).recover(recovered);
         }
         let node = builder.build();
-        let mesh = TcpMesh::start(id, &addrs);
+        let mesh = match obs {
+            Some(obs) => TcpMesh::start_observed(id, &addrs, obs),
+            None => TcpMesh::start(id, &addrs),
+        };
         let outbound: Arc<dyn Outbound + Sync> =
             Arc::new(GroupOutbound::new(Arc::clone(&mesh), GroupId::ZERO));
         let clock = RuntimeClock::start();
@@ -995,6 +1189,53 @@ mod tests {
             64 - link.pending.len() as u64,
             "every shed frame must be counted"
         );
+    }
+
+    /// An instrumented link mirrors its shed counter into the registry,
+    /// keeps the per-million drop-rate gauge consistent with the raw
+    /// counters, and emits one `FrameDropped` event per shed frame.
+    #[test]
+    fn instrumented_link_reports_drops_and_rate() {
+        let (log, ring) = escape_obs::RingObserver::with_default_capacity();
+        let registry = Arc::new(Registry::new());
+        let obs = NodeObs {
+            observer: Arc::new(ring) as Arc<dyn Observer>,
+            registry: Arc::clone(&registry),
+            labels: Labels::new().with("node", 1u32),
+        };
+        let mut link = PeerLink {
+            obs: Some(LinkInstruments::register(
+                &obs,
+                RuntimeClock::start(),
+                ServerId::new(2),
+            )),
+            ..PeerLink::default()
+        };
+        let frame = Bytes::from(vec![0u8; 64 * 1024]);
+        for _ in 0..64 {
+            link.enqueue(frame.clone());
+        }
+        assert!(link.dropped > 0, "the bound must have shed frames");
+
+        let labels = Labels::new().with("node", 1u32).with("peer", 2u32);
+        assert_eq!(
+            registry.counter_value("escape_transport_frames_dropped_total", &labels),
+            Some(link.dropped),
+        );
+        assert_eq!(
+            registry.gauge_value("escape_transport_frame_drop_ppm", &labels),
+            Some(link.dropped * 1_000_000 / link.enqueued),
+        );
+        assert_eq!(
+            registry.gauge_value("escape_transport_queue_depth_bytes", &labels),
+            Some(link.pending_bytes as u64),
+        );
+        let dropped_events = log
+            .snapshot()
+            .iter()
+            .filter(|t| matches!(t.event, Event::FrameDropped { peer: 2 }))
+            .count() as u64;
+        assert_eq!(dropped_events, link.dropped, "one event per shed frame");
     }
 
     /// A frame that is half-way into the socket must survive the bound

@@ -3,10 +3,11 @@
 //! store with ESCAPE elections — including a live leader kill.
 //!
 //! ```text
-//! cargo run --release --bin escape-demo -- [nodes] [protocol] [shards]
-//!   nodes     cluster size (default 5)
-//!   protocol  escape | raft (default escape)
-//!   shards    consensus groups behind one keyspace (default 1)
+//! cargo run --release --bin escape-demo -- [nodes] [protocol] [shards] [--metrics <addr>]
+//!   nodes            cluster size (default 5)
+//!   protocol         escape | raft (default escape)
+//!   shards           consensus groups behind one keyspace (default 1)
+//!   --metrics <addr> serve Prometheus text exposition at <addr>
 //! ```
 //!
 //! With `shards > 1` the demo runs the multi-group stack instead: every
@@ -14,8 +15,20 @@
 //! hash, a misrouted command shows its redirect, and killing the server
 //! that leads one shard demonstrates isolation — the other shards keep
 //! committing while the victim shard reflex-fails-over.
+//!
+//! With `--metrics`, every node runs fully instrumented — engine
+//! counters and histograms, WAL fsync latency (the nodes switch to
+//! scratch data directories so storage is real), and per-peer transport
+//! queue/drop/reconnect series — all scrapeable while the demo runs:
+//!
+//! ```text
+//! cargo run --release --bin escape-demo -- --metrics 127.0.0.1:9900 &
+//! curl http://127.0.0.1:9900/metrics
+//! ```
 
 use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -23,9 +36,10 @@ use crossbeam::channel::bounded;
 
 use escape::core::types::{LogIndex, Role, ServerId};
 use escape::kv::{KvCommand, KvResponse, KvStateMachine};
+use escape::obs::{Labels, NullObserver, Registry, ScrapeServer};
 use escape::transport::runtime::{NodeInput, NodeStatus};
 use escape::transport::spec::ProtocolSpec;
-use escape::transport::tcp::{loopback_listeners, TcpNode};
+use escape::transport::tcp::{loopback_listeners, NodeObs, TcpNode};
 
 fn status_of(node: &TcpNode) -> Option<NodeStatus> {
     let (tx, rx) = bounded(1);
@@ -138,24 +152,111 @@ fn print_read_metrics(status: &NodeStatus) {
     }
 }
 
+fn usage() -> ! {
+    println!(
+        "escape-demo — a live TCP ESCAPE cluster with a leader kill\n\
+         \n\
+         usage: escape-demo [nodes] [protocol] [shards] [--metrics <addr>]\n\
+         \n\
+         \x20 nodes            cluster size (default 5)\n\
+         \x20 protocol         escape | raft (default escape)\n\
+         \x20 shards           consensus groups behind one keyspace (default 1)\n\
+         \x20 --metrics <addr> serve Prometheus text exposition at <addr>\n\
+         \n\
+         example — scrape the cluster while it runs:\n\
+         \x20 escape-demo --metrics 127.0.0.1:9900 &\n\
+         \x20 curl http://127.0.0.1:9900/metrics"
+    );
+    std::process::exit(0)
+}
+
+/// Starts the scrape listener and a background publisher that refreshes
+/// each node's engine counters in the registry twice a second. The
+/// publisher queries through the same inbox as any client and exits when
+/// every node is gone.
+fn start_publisher(
+    registry: Arc<Registry>,
+    inboxes: Vec<(Labels, crossbeam::channel::Sender<NodeInput>)>,
+) {
+    std::thread::Builder::new()
+        .name("escape-demo-metrics".to_string())
+        .spawn(move || loop {
+            let mut reachable = 0usize;
+            for (labels, inbox) in &inboxes {
+                let (tx, rx) = bounded(1);
+                if inbox.send(NodeInput::Query { reply: tx }).is_err() {
+                    continue;
+                }
+                let Ok(status) = rx.recv_timeout(Duration::from_secs(1)) else {
+                    continue;
+                };
+                reachable += 1;
+                status.metrics.publish(&registry, labels);
+            }
+            if reachable == 0 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(500));
+        })
+        .expect("spawn metrics publisher");
+}
+
+/// A scratch data directory for one demo node (instrumented runs persist
+/// for real so the WAL fsync series has samples).
+fn scratch_data_dir(node: u32) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "escape-demo-{}-node-{node}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create demo data dir");
+    dir
+}
+
 fn main() {
+    let mut positional = Vec::new();
+    let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let n: usize = args
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => usage(),
+            "--metrics" => {
+                metrics_addr = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--metrics needs an address, e.g. --metrics 127.0.0.1:9900");
+                    std::process::exit(2)
+                }));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let n: usize = positional
         .next()
         .map(|v| v.parse().expect("nodes: integer"))
         .unwrap_or(5);
-    let protocol = args.next().unwrap_or_else(|| "escape".to_string());
+    let protocol = positional.next().unwrap_or_else(|| "escape".to_string());
     let spec = match protocol.as_str() {
         "escape" => ProtocolSpec::escape_local(),
         "raft" => ProtocolSpec::raft_local(),
         other => panic!("unknown protocol {other:?} (escape|raft)"),
     };
-    let shards: usize = args
+    let shards: usize = positional
         .next()
         .map(|v| v.parse().expect("shards: integer"))
         .unwrap_or(1);
+
+    let metrics = metrics_addr.map(|addr| {
+        let registry = Arc::new(Registry::new());
+        let server =
+            ScrapeServer::serve(addr.as_str(), Arc::clone(&registry)).expect("bind metrics addr");
+        println!(
+            "metrics: curl http://{}/metrics  (Prometheus text exposition)",
+            server.local_addr()
+        );
+        (registry, server)
+    });
+
     if shards > 1 {
-        return sharded_demo(n, protocol, spec, shards);
+        return sharded_demo(n, protocol, spec, shards, metrics);
     }
 
     println!("starting {n}-node {protocol} cluster on loopback TCP…");
@@ -169,17 +270,45 @@ fn main() {
     let nodes: Vec<TcpNode> = (1..=n as u32)
         .map(|i| {
             let id = ServerId::new(i);
-            TcpNode::spawn(
-                id,
-                listeners[&id].try_clone().expect("clone listener"),
-                addrs.clone(),
-                spec,
-                0xDE30,
-                Box::new(KvStateMachine::new()),
-                None, // demo runs memory-only; pass a dir for durability
-            )
+            let listener = listeners[&id].try_clone().expect("clone listener");
+            match &metrics {
+                // Instrumented: real WAL (fsync series needs real
+                // fsyncs), per-peer transport series, engine observer.
+                Some((registry, _)) => TcpNode::spawn_observed(
+                    id,
+                    listener,
+                    addrs.clone(),
+                    spec,
+                    0xDE30,
+                    Box::new(KvStateMachine::new()),
+                    Some(&scratch_data_dir(i)),
+                    NodeObs {
+                        observer: Arc::new(NullObserver),
+                        registry: Arc::clone(registry),
+                        labels: Labels::new().with("node", i),
+                    },
+                ),
+                None => TcpNode::spawn(
+                    id,
+                    listener,
+                    addrs.clone(),
+                    spec,
+                    0xDE30,
+                    Box::new(KvStateMachine::new()),
+                    None, // memory-only; pass a dir for durability
+                ),
+            }
         })
         .collect();
+    if let Some((registry, _)) = &metrics {
+        start_publisher(
+            Arc::clone(registry),
+            nodes
+                .iter()
+                .map(|n| (Labels::new().with("node", n.id().get()), n.inbox()))
+                .collect(),
+        );
+    }
 
     let leader = wait_for_leader(&nodes, Duration::from_secs(10)).expect("no leader");
     let leader_id = nodes[leader].id();
@@ -308,6 +437,11 @@ fn main() {
     for node in survivors {
         node.shutdown();
     }
+    if metrics.is_some() {
+        for i in 1..=n as u32 {
+            let _ = std::fs::remove_dir_all(scratch_data_dir(i));
+        }
+    }
     println!("\ndone.");
 }
 
@@ -348,10 +482,27 @@ fn shard_put(node: &ShardedNode, cmd: &KvCommand) -> Result<GroupId, ShardError>
     Ok(group)
 }
 
-fn sharded_demo(n: usize, protocol: String, spec: ProtocolSpec, shards: usize) {
+fn sharded_demo(
+    n: usize,
+    protocol: String,
+    spec: ProtocolSpec,
+    shards: usize,
+    metrics: Option<(Arc<Registry>, ScrapeServer)>,
+) {
     println!(
         "starting {n}-server {protocol} cluster hosting {shards} shards on loopback TCP…"
     );
+    // Sharded nodes publish at the demo's checkpoints rather than from a
+    // background thread: every group's counters land in the registry with
+    // `node` + `group` labels, so a scrape between checkpoints sees the
+    // last published state.
+    let publish = |nodes: &[Option<ShardedNode>]| {
+        if let Some((registry, _)) = &metrics {
+            for node in nodes.iter().flatten() {
+                node.publish_metrics(registry);
+            }
+        }
+    };
     let (addrs, listeners) = loopback_listeners(n);
     let mut nodes: Vec<Option<ShardedNode>> = (1..=n as u32)
         .map(|i| {
@@ -422,6 +573,7 @@ fn sharded_demo(n: usize, protocol: String, spec: ProtocolSpec, shards: usize) {
             }
         }
     }
+    publish(&nodes);
 
     // A deliberately misrouted command comes back with a redirect.
     let any = nodes[0].as_ref().unwrap();
@@ -497,6 +649,7 @@ fn sharded_demo(n: usize, protocol: String, spec: ProtocolSpec, shards: usize) {
         "{probe} after failover = {:?} (linearizable read, no log entry)",
         KvResponse::decode(&raw).expect("decode")
     );
+    publish(&nodes);
 
     for node in nodes.into_iter().flatten() {
         node.shutdown();

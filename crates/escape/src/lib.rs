@@ -14,6 +14,7 @@
 //! | [`cluster`] | `escape-cluster` | the experiment harness (fault injection, election measurement, every paper figure) |
 //! | [`wire`] | `escape-wire` | the binary wire codec |
 //! | [`kv`] | `escape-kv` | a replicated key-value store over the engine |
+//! | [`obs`] | `escape-obs` | observability: typed events, metrics registry + scrape endpoint, failover-timeline reconstructor |
 //! | [`shard`] | `escape-shard` | multi-group sharding: shard map, router with redirects, `ShardedNode` |
 //! | [`transport`] | `escape-transport` | real-time runtimes (in-process mesh, group-multiplexed TCP) |
 //!
@@ -39,6 +40,7 @@
 pub use escape_cluster as cluster;
 pub use escape_core as core;
 pub use escape_kv as kv;
+pub use escape_obs as obs;
 pub use escape_shard as shard;
 pub use escape_simnet as simnet;
 pub use escape_transport as transport;
