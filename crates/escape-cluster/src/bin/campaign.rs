@@ -1,0 +1,181 @@
+//! Seed-sweeping fault-campaign explorer (the nightly CI entry point).
+//!
+//! ```text
+//! cargo run --release -p escape-cluster --bin campaign -- [options]
+//!   --scenario <name|all>   scenario to sweep (default all)
+//!   --seeds <N>             seeds per scenario (default 50)
+//!   --start <S>             first seed (default 1)
+//!   --seed <S>              replay exactly one seed and print the verdict
+//!   --budget-secs <T>       stop sweeping after T wall-clock seconds
+//!   --emit-corpus           print passing trials as corpus lines
+//!   --list                  list scenario names and exit
+//! ```
+//!
+//! Exit status is non-zero when any trial failed; every failure prints a
+//! shrunken, self-contained reproducer whose `scenario seed` line can be
+//! appended to `crates/escape-cluster/corpus/campaign.txt` once the bug
+//! is fixed, locking the regression in as a tier-1 test.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use escape_cluster::campaign::{
+    run_trial, scenario_plan, sweep, TrialOptions, SCENARIO_NAMES,
+};
+
+struct Args {
+    scenario: String,
+    seeds: u64,
+    start: u64,
+    single_seed: Option<u64>,
+    budget: Option<Duration>,
+    emit_corpus: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: "all".to_string(),
+        seeds: 50,
+        start: 1,
+        single_seed: None,
+        budget: None,
+        emit_corpus: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--scenario" => args.scenario = value("--scenario")?,
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--start" => {
+                args.start = value("--start")?
+                    .parse()
+                    .map_err(|e| format!("--start: {e}"))?
+            }
+            "--seed" => {
+                args.single_seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--budget-secs" => {
+                args.budget = Some(Duration::from_secs(
+                    value("--budget-secs")?
+                        .parse()
+                        .map_err(|e| format!("--budget-secs: {e}"))?,
+                ))
+            }
+            "--emit-corpus" => args.emit_corpus = true,
+            "--list" => args.list = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(error) => {
+            eprintln!("campaign: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        for name in SCENARIO_NAMES {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let scenarios: Vec<&str> = if args.scenario == "all" {
+        SCENARIO_NAMES.to_vec()
+    } else if SCENARIO_NAMES.contains(&args.scenario.as_str()) {
+        vec![SCENARIO_NAMES
+            .iter()
+            .find(|n| **n == args.scenario)
+            .copied()
+            .unwrap_or("baseline")]
+    } else {
+        eprintln!(
+            "campaign: unknown scenario `{}` (try --list)",
+            args.scenario
+        );
+        return ExitCode::FAILURE;
+    };
+    let opts = TrialOptions::default();
+
+    // Single-seed replay mode: one trial, full verdict, no shrinking.
+    if let Some(seed) = args.single_seed {
+        let mut failed = false;
+        for name in &scenarios {
+            let plan = scenario_plan(name).expect("names come from SCENARIO_NAMES");
+            let outcome = run_trial(&plan, seed, &opts);
+            if outcome.passed() {
+                println!("{name} seed {seed}: ok");
+            } else {
+                failed = true;
+                println!("{name} seed {seed}: FAILED");
+                for failure in &outcome.failures {
+                    println!("  - {failure}");
+                }
+            }
+        }
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    // lint:allow(time): the sweep budget is real wall-clock time on purpose
+    let started = Instant::now();
+    let mut trials = 0u64;
+    let mut failures = 0u64;
+    let mut out_of_budget = false;
+    'scenarios: for name in &scenarios {
+        let plan = scenario_plan(name).expect("names come from SCENARIO_NAMES");
+        for seed in args.start..args.start + args.seeds {
+            if let Some(budget) = args.budget {
+                if started.elapsed() > budget {
+                    out_of_budget = true;
+                    break 'scenarios;
+                }
+            }
+            let report = sweep(name, &plan, [seed], &opts);
+            trials += report.trials;
+            if report.clean() {
+                if args.emit_corpus {
+                    println!("{name} {seed}");
+                }
+            } else {
+                failures += report.failures.len() as u64;
+                for repro in &report.failures {
+                    eprintln!("{repro}");
+                }
+            }
+        }
+    }
+    eprintln!(
+        "campaign: {trials} trials, {failures} failures{}",
+        if out_of_budget {
+            " (budget exhausted)"
+        } else {
+            ""
+        }
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -6,6 +6,7 @@
 //! election observer and the safety checker consume. Experiments are plain
 //! loops over this API — see [`crate::experiments`].
 
+use std::io;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -14,18 +15,58 @@ use escape_core::config::EscapeParams;
 use escape_core::engine::{Action, Node, Options, ProposeError};
 use escape_core::message::Message;
 use escape_core::policy::{ElectionPolicy, EscapePolicy, RaftPolicy, ZRaftPolicy};
+use escape_core::storage::{RecoveredState, Storage};
 use escape_core::time::{Duration, Time};
 use escape_core::types::{LogIndex, Role, ServerId, Term};
 use escape_obs::{
-    reconstruct, Event, EventLog, FailoverTimeline, NodeEvents, RingObserver, TimedEvent,
+    reconstruct, Event, EventLog, FailoverTimeline, NodeEvents, Observer, RingObserver, TimedEvent,
     TimelineError,
 };
 use escape_simnet::latency::LatencyModel;
 use escape_simnet::loss::LossModel;
 use escape_simnet::sim::{Ready, Sim};
+use escape_simnet::skew::ClockSkew;
 
 use crate::adapter::{decode_timer, encode_timer};
 use crate::invariants::SafetyChecker;
+
+/// Durable-storage hookup for fault campaigns.
+///
+/// When a cluster is built with [`SimCluster::with_storage`], every node
+/// runs against a real (typically fault-injecting) [`Storage`] supplied by
+/// this harness instead of the engine's in-memory default, and restarts
+/// rebuild the node *from disk* — exercising the actual WAL recovery path
+/// rather than pretending in-memory state survived.
+pub trait StorageHarness: std::fmt::Debug {
+    /// Opens (or reopens after a crash) node `id`'s storage. Called once
+    /// per node at construction and again on every [`SimCluster::restart`];
+    /// `observer` is the node's event ring (recovery reports torn-tail
+    /// truncations through it) and `at_micros` the virtual instant to
+    /// stamp those reports with.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from opening the backing directory.
+    fn open(
+        &mut self,
+        id: ServerId,
+        observer: Arc<dyn Observer>,
+        at_micros: u64,
+    ) -> io::Result<(Box<dyn Storage>, RecoveredState)>;
+
+    /// Called at the instant `id` is killed, before any restart — the
+    /// place to inflict crash artifacts (e.g. tearing the WAL tail).
+    fn on_crash(&mut self, id: ServerId);
+
+    /// Polled after every engine call: `true` means `id`'s storage can no
+    /// longer persist (disk full) and the node must fail-stop — its
+    /// un-persisted actions are discarded and the node is crashed.
+    fn fail_stop(&self, id: ServerId) -> bool;
+
+    /// Advances the harness's virtual clock so injected-fault events carry
+    /// the simulation's timestamps.
+    fn tick(&mut self, at_micros: u64);
+}
 
 /// Constructs one node's election policy. `(id, cluster_size, seed)` →
 /// policy.
@@ -254,6 +295,12 @@ pub struct SimCluster {
     checker: SafetyChecker,
     check_safety: bool,
     config: ClusterConfig,
+    /// Per-node clock skew: engines see `skew.perceived(id, sim.now())`
+    /// instead of the global clock, and their timer deadlines are mapped
+    /// back through [`ClockSkew::to_global`].
+    skew: ClockSkew,
+    /// Durable storage, when the cluster runs a fault campaign.
+    storage: Option<Box<dyn StorageHarness>>,
 }
 
 impl SimCluster {
@@ -264,6 +311,29 @@ impl SimCluster {
     ///
     /// Panics if `config.n` is zero.
     pub fn new(config: ClusterConfig) -> Self {
+        Self::build(config, None).expect("in-memory cluster construction is infallible")
+    }
+
+    /// Builds and boots a cluster whose nodes persist through `harness`:
+    /// every node recovers from whatever the harness's backing directories
+    /// hold (usually empty at trial start), and restarts rebuild nodes from
+    /// disk through the real WAL recovery path.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from opening a node's storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n` is zero.
+    pub fn with_storage(
+        config: ClusterConfig,
+        harness: Box<dyn StorageHarness>,
+    ) -> io::Result<Self> {
+        Self::build(config, Some(harness))
+    }
+
+    fn build(config: ClusterConfig, mut storage: Option<Box<dyn StorageHarness>>) -> io::Result<Self> {
         assert!(config.n > 0, "cluster needs at least one server");
         let ids: Vec<ServerId> = (1..=config.n as u32).map(ServerId::new).collect();
         let sim = Sim::new(config.seed, config.latency.clone(), config.loss);
@@ -279,13 +349,19 @@ impl SimCluster {
                     .seed
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add(id.get() as u64);
-                Node::builder(*id, ids.clone())
+                let observer: Arc<dyn Observer> =
+                    Arc::new(RingObserver::new(Arc::clone(&logs[id.index()])));
+                let mut builder = Node::builder(*id, ids.clone())
                     .policy(config.protocol.build_policy(*id, config.n, node_seed))
                     .options(config.options)
-                    .observer(Arc::new(RingObserver::new(Arc::clone(&logs[id.index()]))))
-                    .build()
+                    .observer(Arc::clone(&observer));
+                if let Some(harness) = storage.as_mut() {
+                    let (store, state) = harness.open(*id, observer, 0)?;
+                    builder = builder.storage(store).recover(state);
+                }
+                Ok(builder.build())
             })
-            .collect();
+            .collect::<io::Result<Vec<Node>>>()?;
         let mut cluster = SimCluster {
             sim,
             nodes,
@@ -295,12 +371,14 @@ impl SimCluster {
             checker: SafetyChecker::new(config.n),
             check_safety: config.check_safety,
             config,
+            skew: ClockSkew::none(),
+            storage,
         };
         for i in 0..cluster.nodes.len() {
             let actions = cluster.nodes[i].start(Time::ZERO);
-            cluster.absorb(ServerId::from_index(i), actions);
+            cluster.finish(ServerId::from_index(i), actions);
         }
-        cluster
+        Ok(cluster)
     }
 
     // ---- inspection ----
@@ -404,6 +482,24 @@ impl SimCluster {
         &self.checker
     }
 
+    /// Installs per-node clock skew. Set it before running the cluster:
+    /// timers already queued keep the global-time deadlines they were
+    /// armed with.
+    pub fn set_clock_skew(&mut self, skew: ClockSkew) {
+        self.skew = skew;
+    }
+
+    /// The storage harness, when the cluster was built with one.
+    pub fn storage_harness_mut(&mut self) -> Option<&mut Box<dyn StorageHarness>> {
+        self.storage.as_mut()
+    }
+
+    /// What `id`'s (possibly skewed) clock reads at the global instant
+    /// `sim.now()` — the time every engine call on `id` receives.
+    pub fn node_now(&self, id: ServerId) -> Time {
+        self.skew.perceived(id, self.sim.now())
+    }
+
     // ---- fault injection ----
 
     /// Crashes `id`.
@@ -415,22 +511,58 @@ impl SimCluster {
             // The kill marker goes into the victim's own stream: the
             // harness knows the instant, the node (being dead) does not.
             self.logs[id.index()].push(at.as_micros(), Event::NodeKilled);
+            // Crash artifacts (torn WAL tails etc.) are inflicted now, so
+            // the eventual restart recovers from damaged media.
+            if let Some(harness) = self.storage.as_mut() {
+                harness.on_crash(id);
+            }
         }
     }
 
     /// Restarts `id`: volatile state resets, persistent state survives.
+    ///
+    /// Without a storage harness the node's in-memory persistent state is
+    /// carried over (modelling perfect durability). With one, the node is
+    /// rebuilt from disk through the harness: reopen → WAL recovery →
+    /// [`NodeBuilder::recover`](escape_core::engine::NodeBuilder::recover),
+    /// so crash artifacts inflicted at kill time are actually exercised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the storage harness fails to reopen the node's backing
+    /// directory — a broken trial, not a survivable fault.
     pub fn restart(&mut self, id: ServerId) {
         if !std::mem::replace(&mut self.alive[id.index()], true) {
             self.sim.restart(id);
-            self.events.push(ObservedEvent::Restart {
-                at: self.sim.now(),
-                node: id,
-            });
-            self.logs[id.index()]
-                .push(self.sim.now().as_micros(), Event::NodeRestarted);
             let now = self.sim.now();
-            let actions = self.nodes[id.index()].restart(now);
-            self.absorb(id, actions);
+            self.events.push(ObservedEvent::Restart { at: now, node: id });
+            self.logs[id.index()].push(now.as_micros(), Event::NodeRestarted);
+            let local = self.node_now(id);
+            let actions = if let Some(harness) = self.storage.as_mut() {
+                let observer: Arc<dyn Observer> =
+                    Arc::new(RingObserver::new(Arc::clone(&self.logs[id.index()])));
+                let (store, state) = harness
+                    .open(id, Arc::clone(&observer), now.as_micros())
+                    .expect("storage harness must reopen a crashed node's directory");
+                let node_seed = self
+                    .config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(id.get() as u64);
+                let ids = self.ids();
+                let n = self.config.n;
+                self.nodes[id.index()] = Node::builder(id, ids)
+                    .policy(self.config.protocol.build_policy(id, n, node_seed))
+                    .options(self.config.options)
+                    .observer(observer)
+                    .storage(store)
+                    .recover(state)
+                    .build();
+                self.nodes[id.index()].start(local)
+            } else {
+                self.nodes[id.index()].restart(local)
+            };
+            self.finish(id, actions);
         }
     }
 
@@ -456,9 +588,10 @@ impl SimCluster {
         let leader = self
             .current_leader()
             .ok_or(ProposeError::NotLeader { hint: None })?;
-        let now = self.sim.now();
+        self.tick_storage();
+        let now = self.node_now(leader);
         let (index, actions) = self.nodes[leader.index()].propose(command, now)?;
-        self.absorb(leader, actions);
+        self.finish(leader, actions);
         Ok(index)
     }
 
@@ -523,28 +656,53 @@ impl SimCluster {
     }
 
     fn dispatch(&mut self, ready: Ready<Message>) {
+        self.tick_storage();
         match ready {
             Ready::Message { from, to, msg } => {
                 if !self.alive[to.index()] {
                     return;
                 }
-                let now = self.sim.now();
+                let now = self.node_now(to);
                 let actions = self.nodes[to.index()].handle_message(from, msg, now);
-                self.absorb(to, actions);
+                self.finish(to, actions);
             }
             Ready::Timer { node, token } => {
                 if !self.alive[node.index()] {
                     return;
                 }
-                let now = self.sim.now();
+                let now = self.node_now(node);
                 let actions = self.nodes[node.index()].handle_timer(decode_timer(token), now);
-                self.absorb(node, actions);
+                self.finish(node, actions);
             }
             Ready::Control { .. } => {
                 // Control points are consumed by experiment loops via
                 // step_before deadlines; nothing to do here.
             }
         }
+    }
+
+    /// Stamps the storage harness with the current virtual instant so any
+    /// fault it injects during the next engine call carries sim time.
+    fn tick_storage(&mut self) {
+        if let Some(harness) = self.storage.as_mut() {
+            harness.tick(self.sim.now().as_micros());
+        }
+    }
+
+    /// Absorbs `actions` — unless the node's storage demands a fail-stop
+    /// (disk full): a server that cannot persist must halt rather than
+    /// send, so its un-persisted actions are discarded and it is crashed
+    /// on the spot (write-before-send, preserved under faults).
+    fn finish(&mut self, id: ServerId, actions: Vec<Action>) {
+        let fail_stop = self
+            .storage
+            .as_ref()
+            .is_some_and(|harness| harness.fail_stop(id));
+        if fail_stop {
+            self.crash(id);
+            return;
+        }
+        self.absorb(id, actions);
     }
 
     /// Routes a node's actions into the simulator and the observation log.
@@ -569,6 +727,13 @@ impl SimCluster {
                     broadcast: None,
                 } => self.sim.send(id, to, msg),
                 Action::SetTimer { token, deadline } => {
+                    // The engine computed `deadline` on its own (possibly
+                    // skewed) clock; the simulator fires on the global one.
+                    let deadline = if self.skew.is_none() {
+                        deadline
+                    } else {
+                        self.skew.to_global(id, deadline).max(at)
+                    };
                     self.sim.set_timer(id, encode_timer(token), deadline)
                 }
                 Action::BecameCandidate { term } => self.events.push(ObservedEvent::Candidate {
@@ -708,5 +873,51 @@ mod tests {
         assert_eq!(first, run(7), "same seed must replay identically");
         assert!(!first.is_empty());
         assert_ne!(first, run(8), "different seeds must actually differ");
+    }
+
+    /// Determinism under the PR-9 fault models: duplication, reordering,
+    /// and per-node clock skew/drift all draw from the seeded streams, so
+    /// the same seed must still replay byte-for-byte — and the faults
+    /// must actually fire, or this test proves nothing.
+    #[test]
+    fn same_seed_is_deterministic_with_duplication_reorder_and_skew() {
+        use escape_simnet::loss::ChaosModel;
+        use escape_simnet::skew::ClockSkew;
+
+        let run = |seed: u64| -> (String, escape_simnet::sim::NetStats) {
+            let mut cluster = SimCluster::new(reflex_config(seed));
+            cluster.sim_mut().set_chaos(ChaosModel {
+                duplicate_p: 0.2,
+                reorder_p: 0.3,
+                reorder_span: Duration::from_millis(10),
+            });
+            let mut skew = ClockSkew::none();
+            for (i, id) in cluster.ids().into_iter().enumerate() {
+                let sign = if i % 2 == 0 { 1 } else { -1 };
+                skew.set(id, sign * 2_000 * (i as i64 + 1), sign * 100);
+            }
+            cluster.set_clock_skew(skew);
+            cluster.bootstrap(Duration::from_millis(500));
+            let term = cluster
+                .node(cluster.current_leader().expect("leader"))
+                .current_term();
+            cluster.crash_leader();
+            let horizon = cluster.now() + Duration::from_secs(10);
+            cluster.run_until_new_leader(term, horizon);
+            cluster.run_for(Duration::from_millis(500));
+            let logs = cluster
+                .ids()
+                .into_iter()
+                .map(|id| format!("node {}\n{}", id.get(), cluster.logs[id.index()].encode()))
+                .collect();
+            (logs, cluster.net_stats())
+        };
+        let (first, stats) = run(7);
+        assert!(stats.duplicated > 0, "duplication must have fired");
+        assert!(stats.reordered > 0, "reordering must have fired");
+        let (replay, _) = run(7);
+        assert_eq!(first, replay, "chaos + skew must replay identically");
+        let (other, _) = run(9);
+        assert_ne!(first, other, "different seeds must actually differ");
     }
 }

@@ -8,6 +8,9 @@
 //!
 //! * [`cluster`] — [`SimCluster`]: N nodes + network +
 //!   an observation log; crash/restart/partition/propose/run-until APIs.
+//! * [`campaign`] — deterministic fault-injection campaigns: composable
+//!   [`FaultPlan`](campaign::FaultPlan)s, a seed-sweeping scenario matrix,
+//!   reproducer shrinking, and the regression seed corpus.
 //! * [`observer`] — turns the observation log into the paper's metrics
 //!   (detection period, election period, phases with competing candidates).
 //! * [`trial`] — the leader-failure trial behind Figs. 3, 4, 9, 11.
@@ -35,6 +38,7 @@
 #![deny(unsafe_code)]
 
 pub mod adapter;
+pub mod campaign;
 pub mod cluster;
 pub mod experiments;
 pub mod invariants;

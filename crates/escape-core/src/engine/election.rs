@@ -212,6 +212,7 @@ impl Node {
             self.match_index.insert(*peer, crate::types::LogIndex::ZERO);
             self.inflight.insert(*peer, 0);
         }
+        self.window_cap.clear();
         self.propose_times.clear();
         // A fresh leadership starts with no lease and no acked rounds: a
         // PPF promotee must earn its own quorum acks before lease-serving

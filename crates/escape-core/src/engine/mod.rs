@@ -371,6 +371,7 @@ impl NodeBuilder {
             next_index: BTreeMap::new(),
             match_index: BTreeMap::new(),
             inflight: BTreeMap::new(),
+            window_cap: BTreeMap::new(),
             propose_times: VecDeque::new(),
             pending_reads: VecDeque::new(),
             read_batch_seq: 0,
@@ -458,6 +459,13 @@ pub struct Node {
     /// lost window's credit is reclaimed by subsequent heartbeat replies
     /// rather than leaking forever.
     inflight: BTreeMap<ServerId, usize>,
+    /// Backpressure clamp on the pipelining window, per follower. Absent
+    /// = uncapped (`options.max_inflight_appends`). Set to 1 by
+    /// [`Node::note_backpressure`] when the transport reports dropped
+    /// frames to that peer; each subsequent successful append ack raises
+    /// it by one until it reaches the option cap and the entry is
+    /// dropped (slow-start-style additive recovery).
+    window_cap: BTreeMap<ServerId, usize>,
     /// Propose timestamps of this leader's own entries awaiting commit,
     /// in index order, for the commit-latency histogram. Cleared on any
     /// role change (a deposed leader's entries may commit under a
@@ -635,6 +643,7 @@ impl Node {
         self.next_index.clear();
         self.match_index.clear();
         self.inflight.clear();
+        self.window_cap.clear();
         self.propose_times.clear();
         self.pending_reads.clear(); // waiters died with the old process
         self.reset_read_state();
@@ -646,6 +655,31 @@ impl Node {
         self.heartbeat_epoch += 1;
         self.vote_retry_epoch += 1;
         self.start(now)
+    }
+
+    /// The transport reports it dropped outbound frames to `peer`
+    /// (bounded-queue overflow or a broken connection discarding its
+    /// backlog). A leader clamps that peer's pipelining window to 1 —
+    /// topping up credit for a peer whose link is shedding frames only
+    /// feeds the drop. The window recovers additively: each successful
+    /// append ack widens it by one until it is back at
+    /// [`Options::max_inflight_appends`]. No-op on non-leaders (there is
+    /// no pipeline to clamp).
+    pub fn note_backpressure(&mut self, peer: ServerId) {
+        if self.role != Role::Leader {
+            return;
+        }
+        // Only clamp a genuinely wider window: re-reports while already
+        // clamped must not zero out additive recovery progress.
+        let current = self
+            .window_cap
+            .get(&peer)
+            .copied()
+            .unwrap_or(self.options.max_inflight_appends);
+        if current > 1 {
+            self.window_cap.insert(peer, 1);
+            self.metrics.backpressure_resets += 1;
+        }
     }
 
     /// Handles a message from `from`.
@@ -1002,6 +1036,7 @@ impl Node {
         self.next_index.clear();
         self.match_index.clear();
         self.inflight.clear();
+        self.window_cap.clear();
         self.propose_times.clear();
         // Queued reads were accepted under a leadership that just ended:
         // redirect them, never answer them.

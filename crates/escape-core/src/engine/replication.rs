@@ -109,7 +109,15 @@ impl Node {
     ) {
         loop {
             let credit = self.inflight.get(&peer).copied().unwrap_or(0);
-            if credit >= self.options.max_inflight_appends {
+            // A backpressure clamp (transport reported dropped frames to
+            // this peer) narrows the window below the configured cap.
+            let cap = self
+                .window_cap
+                .get(&peer)
+                .copied()
+                .unwrap_or(self.options.max_inflight_appends)
+                .min(self.options.max_inflight_appends);
+            if credit >= cap {
                 return;
             }
             let next = self
@@ -482,6 +490,14 @@ impl Node {
                 .unwrap_or(LogIndex::ZERO)
                 .max(matched.next());
             self.next_index.insert(from, next);
+            // Additive recovery from a backpressure clamp: each clean ack
+            // widens the window by one until it is back at the cap.
+            if let Some(cap) = self.window_cap.get_mut(&from) {
+                *cap += 1;
+                if *cap >= self.options.max_inflight_appends {
+                    self.window_cap.remove(&from);
+                }
+            }
             self.advance_commit(now, out);
             // Keep the pipeline full if the follower is still behind.
             self.pump_peer(from, None, now, out);

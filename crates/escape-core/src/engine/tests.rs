@@ -1175,6 +1175,67 @@ fn rejection_backtracks_and_resends_the_backlog() {
     assert_eq!(appends[0].entries.len(), 4, "no-op + 3 commands re-shipped");
 }
 
+/// The transport's dropped-frame report clamps a peer's pipelining
+/// window to 1 (instead of blindly topping up credit into a shedding
+/// link), and each clean ack widens it back additively toward the cap.
+#[test]
+fn backpressure_clamps_the_window_and_acks_recover_it() {
+    let (mut node, ids) = undelivered_leader(Options {
+        max_entries_per_append: 1,
+        max_inflight_appends: 4,
+        vote_retry_interval: None,
+        ..Options::default()
+    });
+    let peer = ids[1];
+    let now = Time::from_millis(1001);
+
+    node.note_backpressure(peer);
+    assert_eq!(node.metrics().backpressure_resets, 1);
+    // A re-report while already clamped neither double-counts nor zeroes
+    // additive recovery progress.
+    node.note_backpressure(peer);
+    assert_eq!(node.metrics().backpressure_resets, 1);
+
+    // Becoming leader already shipped the no-op window (credit 1), which
+    // fills the clamped window: proposes append + persist but ship
+    // nothing to this peer.
+    let (_, actions) = node.propose(Bytes::from_static(b"c1"), now).unwrap();
+    assert!(appends_to(&actions, peer).is_empty(), "window clamped to 1");
+    let (_, actions) = node.propose(Bytes::from_static(b"c2"), now).unwrap();
+    assert!(appends_to(&actions, peer).is_empty(), "still clamped");
+
+    // A clean ack returns the credit AND widens the cap to 2: exactly
+    // two backlog windows ship.
+    let ack = Message::AppendEntriesReply(crate::message::AppendEntriesReply {
+        term: node.current_term(),
+        success: true,
+        match_hint: LogIndex::new(1),
+        status: None,
+        seq: 0,
+    });
+    let actions = node.handle_message(peer, ack, now);
+    assert_eq!(
+        appends_to(&actions, peer).len(),
+        2,
+        "cap widened to 2 after one clean ack"
+    );
+}
+
+/// Backpressure notes on a non-leader are a no-op: there is no pipeline
+/// to clamp, and the counter must not move.
+#[test]
+fn backpressure_is_ignored_off_the_leader_role() {
+    let ids: Vec<ServerId> = (1..=3).map(ServerId::new).collect();
+    let mut node = Node::builder(ids[0], ids.clone())
+        .policy(Box::new(RaftPolicy::with_source(Box::new(
+            ScriptedTimeouts::new(vec![Duration::from_millis(1000)]),
+        ))))
+        .build();
+    node.start(Time::ZERO);
+    node.note_backpressure(ids[1]);
+    assert_eq!(node.metrics().backpressure_resets, 0);
+}
+
 /// Group commit at the engine/storage boundary: a batch of N commands is
 /// persisted as one batched record run followed by exactly one sync, and
 /// the sync precedes the returned actions (write-ahead preserved).

@@ -81,6 +81,9 @@ pub struct NodeMetrics {
     pub reads_failed: u64,
     /// Votes refused by the lease fence (leader heard too recently).
     pub votes_lease_fenced: u64,
+    /// Times the transport's dropped-frame report clamped a follower's
+    /// pipelining window back to 1.
+    pub backpressure_resets: u64,
 }
 
 impl NodeMetrics {
@@ -146,7 +149,7 @@ impl NodeMetrics {
     /// engine histograms land with their native bucket bounds, ready for
     /// cross-group merging via [`escape_obs::Registry::aggregate_histogram`].
     pub fn publish(&self, registry: &escape_obs::Registry, labels: &escape_obs::Labels) {
-        let counters: [(&str, u64); 24] = [
+        let counters: [(&str, u64); 25] = [
             ("escape_elections_started_total", self.elections_started),
             ("escape_elections_won_total", self.elections_won),
             ("escape_votes_granted_total", self.votes_granted),
@@ -174,6 +177,10 @@ impl NodeMetrics {
             ("escape_lease_reads_total", self.lease_reads),
             ("escape_quorum_reads_total", self.quorum_reads),
             ("escape_reads_failed_total", self.reads_failed),
+            (
+                "escape_backpressure_resets_total",
+                self.backpressure_resets,
+            ),
         ];
         for (name, total) in counters {
             registry.counter(name, labels).store(total);

@@ -111,6 +111,20 @@ pub enum Event {
     /// Harness-injected: the node's process restarted and re-entered the
     /// cluster.
     NodeRestarted,
+    /// Fault-injected: an fsync was acknowledged but silently dropped —
+    /// the buffered suffix will be missing after the next crash.
+    FsyncLied,
+    /// Fault-injected: a storage operation hit a transient IO error
+    /// (absorbed by an internal retry; counted for the campaign report).
+    IoErrorInjected,
+    /// Fault-injected: the disk reported full; the node must fail-stop.
+    DiskFull,
+    /// Recovery truncated a torn tail off the newest WAL segment
+    /// (crash mid-write, or an injected tear).
+    WalTailTruncated {
+        /// Bytes dropped from the end of the segment.
+        lost_bytes: u64,
+    },
 }
 
 impl Event {
@@ -135,6 +149,10 @@ impl Event {
             Event::FrameDropped { .. } => "frame_dropped",
             Event::NodeKilled => "node_killed",
             Event::NodeRestarted => "node_restarted",
+            Event::FsyncLied => "fsync_lied",
+            Event::IoErrorInjected => "io_error_injected",
+            Event::DiskFull => "disk_full",
+            Event::WalTailTruncated { .. } => "wal_tail_truncated",
         }
     }
 
@@ -190,6 +208,12 @@ impl Event {
             }
             Event::NodeKilled => {}
             Event::NodeRestarted => {}
+            Event::FsyncLied => {}
+            Event::IoErrorInjected => {}
+            Event::DiskFull => {}
+            Event::WalTailTruncated { lost_bytes } => {
+                let _ = write!(out, " lost_bytes={lost_bytes}");
+            }
         }
     }
 
@@ -241,6 +265,12 @@ impl Event {
             }
             Event::NodeKilled => "killed by the harness".to_string(),
             Event::NodeRestarted => "restarted by the harness".to_string(),
+            Event::FsyncLied => "fsync acked but silently dropped (injected)".to_string(),
+            Event::IoErrorInjected => "transient IO error injected into storage".to_string(),
+            Event::DiskFull => "disk full: storage refused the write".to_string(),
+            Event::WalTailTruncated { lost_bytes } => {
+                format!("recovery truncated a {lost_bytes}-byte torn WAL tail")
+            }
         }
     }
 }
@@ -292,6 +322,10 @@ mod tests {
             Event::FrameDropped { peer: 3 },
             Event::NodeKilled,
             Event::NodeRestarted,
+            Event::FsyncLied,
+            Event::IoErrorInjected,
+            Event::DiskFull,
+            Event::WalTailTruncated { lost_bytes: 12 },
         ]
     }
 

@@ -41,10 +41,12 @@ pub mod loss;
 pub mod partition;
 pub mod queue;
 pub mod sim;
+pub mod skew;
 pub mod trace;
 
 pub use latency::LatencyModel;
-pub use loss::LossModel;
+pub use loss::{ChaosModel, ChaosVerdict, LossModel};
 pub use partition::PartitionMap;
 pub use sim::{NetStats, Ready, Sim, SimMessage};
+pub use skew::ClockSkew;
 pub use trace::{DropCause, Trace, TraceEvent};

@@ -1,4 +1,4 @@
-//! Message-loss models.
+//! Message-loss and frame-chaos models.
 //!
 //! §VI-D defines loss at the *broadcast* granularity: "At each rate, a
 //! broadcast only reaches `1−Δ` servers … a sender (leader or candidate)
@@ -6,8 +6,15 @@
 //! n=10). [`LossModel::BroadcastOmission`] reproduces that exactly;
 //! [`LossModel::Bernoulli`] is the i.i.d. per-message alternative, provided
 //! for ablations.
+//!
+//! [`ChaosModel`] covers the non-loss frame pathologies real networks
+//! add on top: duplication (retransmit races, routing loops deliver the
+//! same frame twice) and reordering (a frame overtaken by later traffic
+//! arrives with extra delay). Both are sampled from the simulator's one
+//! seeded RNG, so a chaotic run replays bit-identically from its seed.
 
 use escape_core::rand::{sample_indexes, Rng64};
+use escape_core::time::Duration;
 
 /// Decides which messages disappear in flight.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -41,6 +48,71 @@ impl LossModel {
                 let omit = ((*delta * k as f64).round() as usize).min(k);
                 sample_indexes(k, omit, rng)
             }
+        }
+    }
+}
+
+/// Frame duplication and reordering, applied per successfully delivered
+/// frame (after the loss and partition checks).
+///
+/// The verdict is drawn at *send* time, in a fixed order (reorder draw,
+/// then duplicate draw), so the RNG stream — and therefore the whole
+/// run — is a pure function of the seed. A [`ChaosModel::none`] model
+/// draws nothing at all, leaving chaos-free runs byte-identical to
+/// pre-chaos builds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosModel {
+    /// Probability a delivered frame arrives twice (the copy samples its
+    /// own latency, so the twins usually land at different times).
+    pub duplicate_p: f64,
+    /// Probability a delivered frame is overtaken: it picks up an extra
+    /// uniform delay in `(0, reorder_span]` on top of its sampled
+    /// latency, letting later frames pass it.
+    pub reorder_p: f64,
+    /// Maximum extra delay a reordered frame suffers.
+    pub reorder_span: Duration,
+}
+
+/// What [`ChaosModel::frame_verdict`] decided for one frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosVerdict {
+    /// Deliver a second copy of this frame.
+    pub duplicate: bool,
+    /// Extra delay to add to the frame's sampled latency.
+    pub extra_delay: Option<Duration>,
+}
+
+impl ChaosModel {
+    /// A chaos-free network (never touches the RNG).
+    pub fn none() -> Self {
+        ChaosModel {
+            duplicate_p: 0.0,
+            reorder_p: 0.0,
+            reorder_span: Duration::ZERO,
+        }
+    }
+
+    /// `true` when this model can never fire.
+    pub fn is_none(&self) -> bool {
+        self.duplicate_p <= 0.0 && self.reorder_p <= 0.0
+    }
+
+    /// Draws this frame's fate. Callers must skip the call entirely for
+    /// a [`ChaosModel::is_none`] model to keep the RNG stream identical
+    /// to a chaos-free run.
+    pub fn frame_verdict(&self, rng: &mut dyn Rng64) -> ChaosVerdict {
+        let reorder = self.reorder_p > 0.0 && rng.gen_bool(self.reorder_p);
+        let extra_delay = if reorder && !self.reorder_span.is_zero() {
+            // [1, span] µs — inclusive of the full span, never empty.
+            let span = self.reorder_span.as_micros();
+            Some(Duration::from_micros(rng.gen_range(1, span + 1)))
+        } else {
+            None
+        };
+        let duplicate = self.duplicate_p > 0.0 && rng.gen_bool(self.duplicate_p);
+        ChaosVerdict {
+            duplicate,
+            extra_delay,
         }
     }
 }

@@ -16,6 +16,10 @@ pub struct PartitionMap {
     islands: BTreeMap<ServerId, u32>,
     /// Specific severed links (both directions), independent of islands.
     severed: Vec<(ServerId, ServerId)>,
+    /// Directed cuts: `(src, dst)` means `src → dst` traffic is dropped
+    /// while `dst → src` still flows (asymmetric partitions — the classic
+    /// "I can hear you but you can't hear me" pathology).
+    severed_one_way: Vec<(ServerId, ServerId)>,
 }
 
 impl PartitionMap {
@@ -48,15 +52,31 @@ impl PartitionMap {
             .retain(|(x, y)| !((*x == a && *y == b) || (*x == b && *y == a)));
     }
 
+    /// Severs only the `src → dst` direction; `dst → src` keeps flowing.
+    pub fn sever_one_way(&mut self, src: ServerId, dst: ServerId) {
+        if !self.severed_one_way.contains(&(src, dst)) {
+            self.severed_one_way.push((src, dst));
+        }
+    }
+
+    /// Restores the directed cut `src → dst`.
+    pub fn restore_one_way(&mut self, src: ServerId, dst: ServerId) {
+        self.severed_one_way.retain(|cut| *cut != (src, dst));
+    }
+
     /// Heals all partitions and severed links.
     pub fn heal(&mut self) {
         self.islands.clear();
         self.severed.clear();
+        self.severed_one_way.clear();
     }
 
     /// `true` if `src` can currently reach `dst`.
     pub fn connected(&self, src: ServerId, dst: ServerId) -> bool {
         if self.link_severed(src, dst) {
+            return false;
+        }
+        if self.severed_one_way.contains(&(src, dst)) {
             return false;
         }
         let island = |id: ServerId| self.islands.get(&id).copied().unwrap_or(0);
@@ -111,6 +131,26 @@ mod tests {
         p.heal();
         assert!(p.connected(s(1), s(2)));
         assert!(p.connected(s(3), s(4)));
+    }
+
+    #[test]
+    fn one_way_cut_is_asymmetric() {
+        let mut p = PartitionMap::new();
+        p.sever_one_way(s(1), s(3));
+        p.sever_one_way(s(1), s(3)); // idempotent
+        assert!(!p.connected(s(1), s(3)), "cut direction blocked");
+        assert!(p.connected(s(3), s(1)), "reverse direction still flows");
+        assert!(p.connected(s(1), s(2)));
+        p.restore_one_way(s(1), s(3));
+        assert!(p.connected(s(1), s(3)));
+    }
+
+    #[test]
+    fn heal_clears_one_way_cuts() {
+        let mut p = PartitionMap::new();
+        p.sever_one_way(s(2), s(4));
+        p.heal();
+        assert!(p.connected(s(2), s(4)));
     }
 
     #[test]

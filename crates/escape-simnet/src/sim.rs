@@ -19,7 +19,7 @@ use escape_core::time::{Duration, Time};
 use escape_core::types::ServerId;
 
 use crate::latency::LatencyModel;
-use crate::loss::LossModel;
+use crate::loss::{ChaosModel, LossModel};
 use crate::partition::PartitionMap;
 use crate::queue::EventQueue;
 use crate::trace::{DropCause, Trace, TraceEvent};
@@ -108,6 +108,10 @@ pub struct NetStats {
     pub dropped_crashed: u64,
     /// Timer events fired (current incarnation only).
     pub timers_fired: u64,
+    /// Extra copies injected by the chaos model.
+    pub duplicated: u64,
+    /// Frames that picked up a chaos reorder delay.
+    pub reordered: u64,
 }
 
 /// The deterministic discrete-event network simulator.
@@ -141,6 +145,7 @@ pub struct Sim<M: SimMessage> {
     queue: EventQueue<SimEvent<M>>,
     latency: LatencyModel,
     loss: LossModel,
+    chaos: ChaosModel,
     partitions: PartitionMap,
     rng: Xoshiro256,
     crashed: BTreeSet<ServerId>,
@@ -157,6 +162,7 @@ impl<M: SimMessage> Sim<M> {
             queue: EventQueue::new(),
             latency,
             loss,
+            chaos: ChaosModel::none(),
             partitions: PartitionMap::new(),
             rng: Xoshiro256::seed_from(seed),
             crashed: BTreeSet::new(),
@@ -200,6 +206,20 @@ impl<M: SimMessage> Sim<M> {
     /// Replaces the latency model mid-run.
     pub fn set_latency(&mut self, latency: LatencyModel) {
         self.latency = latency;
+    }
+
+    /// Replaces the frame chaos model (duplication / reordering) mid-run.
+    ///
+    /// A [`ChaosModel::none`] model draws nothing from the RNG, so runs
+    /// that never enable chaos keep the exact event stream of builds that
+    /// predate it.
+    pub fn set_chaos(&mut self, chaos: ChaosModel) {
+        self.chaos = chaos;
+    }
+
+    /// The configured chaos model.
+    pub fn chaos(&self) -> &ChaosModel {
+        &self.chaos
     }
 
     /// The configured latency model.
@@ -306,8 +326,30 @@ impl<M: SimMessage> Sim<M> {
     }
 
     fn enqueue_delivery(&mut self, from: ServerId, to: ServerId, msg: M) {
-        let delay = self.latency.sample(from, to, &mut self.rng);
+        let mut delay = self.latency.sample(from, to, &mut self.rng);
         let incarnation = self.incarnation(to);
+        if !self.chaos.is_none() {
+            let verdict = self.chaos.frame_verdict(&mut self.rng);
+            if let Some(extra) = verdict.extra_delay {
+                delay += extra;
+                self.stats.reordered += 1;
+            }
+            if verdict.duplicate {
+                // The twin samples its own latency, so the copies usually
+                // land at different times (and possibly out of order).
+                let twin_delay = self.latency.sample(from, to, &mut self.rng);
+                self.stats.duplicated += 1;
+                self.queue.push(
+                    self.now + twin_delay,
+                    SimEvent::Deliver {
+                        from,
+                        to,
+                        msg: msg.clone(),
+                        incarnation,
+                    },
+                );
+            }
+        }
         self.queue.push(
             self.now + delay,
             SimEvent::Deliver {
@@ -617,6 +659,104 @@ mod tests {
         };
         assert_eq!(run(99), run(99));
         assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn duplication_delivers_twins() {
+        let mut sim = sim(11);
+        sim.set_chaos(ChaosModel {
+            duplicate_p: 1.0,
+            reorder_p: 0.0,
+            reorder_span: Duration::ZERO,
+        });
+        sim.send(s(1), s(2), Ping(1));
+        let mut delivered = 0;
+        while sim.step().is_some() {
+            delivered += 1;
+        }
+        assert_eq!(delivered, 2);
+        assert_eq!(sim.stats().duplicated, 1);
+        assert_eq!(sim.stats().delivered, 2);
+    }
+
+    #[test]
+    fn reorder_lets_later_frames_overtake() {
+        // Constant latency means arrival order == send order unless the
+        // reorder delay kicks in. Force a reorder on every frame and check
+        // at least one pair swaps across many sends.
+        let mut sim = sim(12);
+        sim.set_chaos(ChaosModel {
+            duplicate_p: 0.0,
+            reorder_p: 1.0,
+            reorder_span: Duration::from_millis(50),
+        });
+        for i in 0..20 {
+            sim.send(s(1), s(2), Ping(i));
+            sim.advance_to(sim.now() + Duration::from_millis(1));
+        }
+        let mut order = Vec::new();
+        while let Some(Ready::Message { msg, .. }) = sim.step() {
+            order.push(msg.0);
+        }
+        assert_eq!(order.len(), 20);
+        assert_eq!(sim.stats().reordered, 20);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_ne!(order, sorted, "50ms span over 1ms spacing must swap something");
+    }
+
+    #[test]
+    fn none_chaos_leaves_rng_stream_untouched() {
+        let run = |chaos: bool| {
+            let mut sim: Sim<Ping> = Sim::new(
+                13,
+                LatencyModel::Uniform {
+                    min: Duration::from_millis(1),
+                    max: Duration::from_millis(20),
+                },
+                LossModel::Bernoulli(0.1),
+            );
+            if chaos {
+                sim.set_chaos(ChaosModel::none());
+            }
+            for i in 0..50 {
+                sim.send(s(1 + i % 3), s(1 + (i + 1) % 3), Ping(i));
+            }
+            let mut log = Vec::new();
+            while let Some(ev) = sim.step() {
+                log.push(format!("{:?}@{}", ev, sim.now()));
+            }
+            log
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn chaos_runs_replay_from_their_seed() {
+        let run = || {
+            let mut sim: Sim<Ping> = Sim::new(
+                14,
+                LatencyModel::Uniform {
+                    min: Duration::from_millis(1),
+                    max: Duration::from_millis(10),
+                },
+                LossModel::Bernoulli(0.05),
+            );
+            sim.set_chaos(ChaosModel {
+                duplicate_p: 0.2,
+                reorder_p: 0.3,
+                reorder_span: Duration::from_millis(25),
+            });
+            for i in 0..100 {
+                sim.send(s(1 + i % 5), s(1 + (i + 2) % 5), Ping(i));
+            }
+            let mut log = Vec::new();
+            while let Some(ev) = sim.step() {
+                log.push(format!("{:?}@{}", ev, sim.now()));
+            }
+            log
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Per-node clock skew and drift.
+//!
+//! The engine is sans-IO: every entry point takes a `Time` supplied by the
+//! harness. That makes clock faults trivially injectable — instead of the
+//! global simulation clock, a skewed node is handed its *perceived* time:
+//!
+//! ```text
+//! perceived(node, global) = global + offset(node) + global · drift_ppm(node) / 1e6
+//! ```
+//!
+//! `offset` models a one-shot step (a bad NTP sync), `drift_ppm` a
+//! frequency error (a cheap oscillator running fast or slow — real
+//! crystals are specced in the ±10–100 ppm range).
+//!
+//! Deadlines flow the other way: when a skewed node arms a timer for
+//! perceived time `D`, the harness must schedule the underlying simulator
+//! timer at the *global* instant whose perceived image is `D` —
+//! [`ClockSkew::to_global`] inverts the map. Both directions use `i128`
+//! arithmetic and clamp at zero, so extreme offsets cannot wrap.
+
+use std::collections::BTreeMap;
+
+use escape_core::time::Time;
+use escape_core::types::ServerId;
+
+/// One node's clock error.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct NodeSkew {
+    /// Constant offset, in microseconds (may be negative: a slow clock).
+    offset_micros: i64,
+    /// Frequency error in parts-per-million (positive: runs fast).
+    drift_ppm: i64,
+}
+
+/// Per-node clock skew/drift table. Nodes absent from the table read the
+/// global clock exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClockSkew {
+    skews: BTreeMap<ServerId, NodeSkew>,
+}
+
+impl ClockSkew {
+    /// All clocks perfect.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when no node has any skew configured.
+    pub fn is_none(&self) -> bool {
+        self.skews.is_empty()
+    }
+
+    /// Sets `node`'s clock error: a constant `offset_micros` step plus a
+    /// `drift_ppm` frequency error. Overwrites any previous setting.
+    pub fn set(&mut self, node: ServerId, offset_micros: i64, drift_ppm: i64) {
+        self.skews.insert(
+            node,
+            NodeSkew {
+                offset_micros,
+                drift_ppm,
+            },
+        );
+    }
+
+    /// The instant `node`'s clock shows when the global clock reads
+    /// `global`. Clamped to `[0, u64::MAX]`.
+    pub fn perceived(&self, node: ServerId, global: Time) -> Time {
+        let Some(skew) = self.skews.get(&node) else {
+            return global;
+        };
+        let g = global.as_micros() as i128;
+        let drifted = g + g * skew.drift_ppm as i128 / 1_000_000;
+        let shifted = drifted + skew.offset_micros as i128;
+        Time::from_micros(shifted.clamp(0, u64::MAX as i128) as u64)
+    }
+
+    /// The earliest global instant at which `node`'s clock reads at least
+    /// `perceived_deadline` — the inverse of [`ClockSkew::perceived`], used
+    /// to translate a skewed node's timer deadlines back into simulator
+    /// time. Clamped to `[0, u64::MAX]`.
+    pub fn to_global(&self, node: ServerId, perceived_deadline: Time) -> Time {
+        let Some(skew) = self.skews.get(&node) else {
+            return perceived_deadline;
+        };
+        let rate = 1_000_000 + skew.drift_ppm as i128;
+        if rate <= 0 {
+            // A clock drifting backwards at ≥1e6 ppm never reaches any
+            // future deadline; treat as "immediately" to keep the sim live.
+            return Time::ZERO;
+        }
+        let d = perceived_deadline.as_micros() as i128 - skew.offset_micros as i128;
+        // Algebraic inverse (ceiling division) as an anchor…
+        let approx = (d * 1_000_000 + rate - 1).div_euclid(rate);
+        let mut g = approx.clamp(0, u64::MAX as i128) as u64;
+        // …then correct for perceived()'s truncating drift division with a
+        // short walk (the anchor is within a couple of microseconds, and
+        // perceived() is monotone in the global clock for rate > 0).
+        while g > 0 && self.perceived(node, Time::from_micros(g - 1)) >= perceived_deadline {
+            g -= 1;
+        }
+        while self.perceived(node, Time::from_micros(g)) < perceived_deadline && g < u64::MAX {
+            g += 1;
+        }
+        Time::from_micros(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use escape_core::time::Duration;
+
+    fn s(id: u32) -> ServerId {
+        ServerId::new(id)
+    }
+
+    #[test]
+    fn unskewed_nodes_read_the_global_clock() {
+        let skew = ClockSkew::none();
+        assert!(skew.is_none());
+        let t = Time::from_millis(123);
+        assert_eq!(skew.perceived(s(1), t), t);
+        assert_eq!(skew.to_global(s(1), t), t);
+    }
+
+    #[test]
+    fn positive_offset_runs_ahead() {
+        let mut skew = ClockSkew::none();
+        skew.set(s(2), 5_000, 0); // +5ms
+        let t = Time::from_millis(100);
+        assert_eq!(skew.perceived(s(2), t), Time::from_millis(105));
+        assert_eq!(skew.perceived(s(3), t), t, "other nodes unaffected");
+    }
+
+    #[test]
+    fn negative_offset_clamps_at_epoch() {
+        let mut skew = ClockSkew::none();
+        skew.set(s(1), -10_000, 0); // −10ms
+        assert_eq!(skew.perceived(s(1), Time::from_millis(4)), Time::ZERO);
+        assert_eq!(
+            skew.perceived(s(1), Time::from_millis(25)),
+            Time::from_millis(15)
+        );
+    }
+
+    #[test]
+    fn drift_accumulates_with_time() {
+        let mut skew = ClockSkew::none();
+        skew.set(s(1), 0, 100); // +100 ppm: +100µs per second
+        let t = Time::from_micros(10_000_000); // 10s
+        assert_eq!(
+            skew.perceived(s(1), t),
+            t + Duration::from_micros(1_000),
+            "10s at +100ppm gains 1ms"
+        );
+    }
+
+    #[test]
+    fn to_global_inverts_perceived() {
+        let mut skew = ClockSkew::none();
+        skew.set(s(1), 7_321, 250);
+        skew.set(s(2), -44_000, -90);
+        for node in [s(1), s(2), s(3)] {
+            for millis in [0u64, 1, 57, 999, 123_456] {
+                let deadline = Time::from_millis(millis);
+                let g = skew.to_global(node, deadline);
+                assert!(
+                    skew.perceived(node, g) >= deadline,
+                    "deadline must have been reached at the mapped instant"
+                );
+                // (Minimality is ill-posed at deadline 0: perceived()
+                // clamps at the epoch, so every instant "reaches" it.)
+                if g > Time::ZERO && deadline > Time::ZERO {
+                    let before = Time::from_micros(g.as_micros() - 1);
+                    assert!(
+                        skew.perceived(node, before) < deadline,
+                        "mapped instant must be the earliest such instant"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -43,11 +43,13 @@
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
+pub mod faults;
 pub mod record;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
+pub use faults::{tear_wal_tail, FaultSpec, FaultStats, FaultyStorage};
 pub use record::WalRecord;
 pub use store::WalStorage;
 pub use wal::{Wal, WalInstruments, WalOptions};

@@ -70,6 +70,24 @@ impl WalStorage {
         dir: impl AsRef<Path>,
         options: WalOptions,
     ) -> io::Result<(WalStorage, RecoveredState)> {
+        Self::open_observed(dir, options, &escape_obs::NullObserver, 0)
+    }
+
+    /// [`WalStorage::open_with`] that reports recovery repairs: a torn
+    /// WAL tail truncated during recovery emits a
+    /// [`WalTailTruncated`](escape_obs::Event::WalTailTruncated) event at
+    /// `at_micros` on the caller's clock. Failures must be *observable* —
+    /// a silent repair is indistinguishable from silent data loss.
+    ///
+    /// # Errors
+    ///
+    /// As [`WalStorage::open`].
+    pub fn open_observed(
+        dir: impl AsRef<Path>,
+        options: WalOptions,
+        observer: &dyn escape_obs::Observer,
+        at_micros: u64,
+    ) -> io::Result<(WalStorage, RecoveredState)> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
 
@@ -77,7 +95,10 @@ impl WalStorage {
         // `recover` (not `replay`): it truncates the crash's torn tail
         // record so segments written after this recovery stay reachable
         // on every future open.
-        let records = wal::recover(&dir)?;
+        let (records, lost_bytes) = wal::recover_reporting(&dir)?;
+        if lost_bytes > 0 && observer.enabled() {
+            observer.record(at_micros, escape_obs::Event::WalTailTruncated { lost_bytes });
+        }
         let state = rebuild(snapshot, records)?;
 
         // Continue the last segment when the wal module deems it
@@ -653,5 +674,65 @@ mod tests {
         }
         let err = WalStorage::open(&dir).expect_err("unrecoverable state must refuse to open");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// Recovery hardening: a CRC-corrupt record mid-segment *and* a tail
+    /// torn mid-record in the same (newest) segment. Recovery must keep
+    /// the valid prefix, never panic, report every lost byte through the
+    /// observer as one `wal_tail_truncated` event, and leave the segment
+    /// repaired so the next open is clean.
+    #[test]
+    fn corrupt_record_and_torn_tail_recover_to_the_valid_prefix() {
+        use escape_obs::{EventLog, RingObserver};
+        use std::sync::Arc;
+
+        let dir = scratch_dir("store-hardening");
+        {
+            let (mut storage, _) = WalStorage::open(&dir).unwrap();
+            for term in 1..=5u64 {
+                storage
+                    .persist_hard_state(Term::new(term), Some(ServerId::new(1)))
+                    .unwrap();
+                storage.sync().unwrap();
+            }
+        }
+        let (_, path) = wal::list_segments(&dir).unwrap().pop().unwrap();
+        let mut raw = fs::read(&path).unwrap();
+        let header = wal::SEGMENT_MAGIC.len();
+        let record = (raw.len() - header) / 5;
+        // Flip a byte inside record 3 (CRC mismatch mid-segment)...
+        raw[header + 2 * record + record / 2] ^= 0xFF;
+        // ...and tear the final record in half (crash mid-write).
+        raw.truncate(raw.len() - record / 2);
+        let torn_len = raw.len();
+        fs::write(&path, raw).unwrap();
+
+        let log = Arc::new(EventLog::default());
+        let observer = RingObserver::new(Arc::clone(&log));
+        let (_, state) =
+            WalStorage::open_observed(&dir, WalOptions::default(), &observer, 777).unwrap();
+        assert_eq!(
+            state.term,
+            Term::new(2),
+            "only the prefix before the corrupt record survives"
+        );
+        let expected_lost = (torn_len - (header + 2 * record)) as u64;
+        let events = log.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].at_micros, 777);
+        assert_eq!(
+            events[0].event,
+            escape_obs::Event::WalTailTruncated {
+                lost_bytes: expected_lost
+            }
+        );
+
+        // The truncation was repaired on disk: a clean reopen, no event.
+        let silent = Arc::new(EventLog::default());
+        let again = RingObserver::new(Arc::clone(&silent));
+        let (_, state) =
+            WalStorage::open_observed(&dir, WalOptions::default(), &again, 778).unwrap();
+        assert_eq!(state.term, Term::new(2));
+        assert!(silent.is_empty(), "a repaired log must not re-report");
     }
 }

@@ -237,11 +237,25 @@ pub fn replay(dir: &Path) -> io::Result<Vec<WalRecord>> {
 /// I/O failures, or [`io::ErrorKind::InvalidData`] for mid-log
 /// corruption as described above.
 pub fn recover(dir: &Path) -> io::Result<Vec<WalRecord>> {
+    recover_reporting(dir).map(|(records, _)| records)
+}
+
+/// [`recover`], additionally reporting how many bytes the tail repair
+/// dropped (0 when the log was clean). Callers with an observer turn a
+/// non-zero count into a `wal_tail_truncated` event.
+///
+/// # Errors
+///
+/// As [`recover`].
+pub fn recover_reporting(dir: &Path) -> io::Result<(Vec<WalRecord>, u64)> {
     let segments = list_segments(dir)?;
     let last = segments.len().saturating_sub(1);
     let mut records = Vec::new();
+    let mut lost_bytes = 0u64;
     for (i, (seq, path)) in segments.into_iter().enumerate() {
-        let scan = scan_segment(fs::read(&path)?);
+        let raw = fs::read(&path)?;
+        let raw_len = raw.len() as u64;
+        let scan = scan_segment(raw);
         let damaged = scan.headerless || scan.torn_at.is_some();
         if damaged && i != last {
             return Err(io::Error::new(
@@ -255,15 +269,17 @@ pub fn recover(dir: &Path) -> io::Result<Vec<WalRecord>> {
         records.extend(scan.records);
         if scan.headerless {
             // A crash inside segment creation: no header ever landed.
+            lost_bytes += raw_len;
             fs::remove_file(&path)?;
             sync_dir(dir);
         } else if let Some(offset) = scan.torn_at {
+            lost_bytes += raw_len.saturating_sub(offset);
             let file = OpenOptions::new().write(true).open(&path)?;
             file.set_len(offset)?;
             file.sync_all()?;
         }
     }
-    Ok(records)
+    Ok((records, lost_bytes))
 }
 
 /// The active write-ahead log: an open segment plus rotation bookkeeping

@@ -32,6 +32,13 @@ pub trait Outbound: Send + 'static {
     fn frames_dropped(&self) -> u64 {
         0
     }
+
+    /// Outbound frames dropped to one specific peer, for the engine's
+    /// per-peer backpressure clamp. Transports without a bounded queue
+    /// report zero.
+    fn frames_dropped_to(&self, _to: ServerId) -> u64 {
+        0
+    }
 }
 
 /// A snapshot of a node's externally visible state.
@@ -118,6 +125,9 @@ pub fn node_loop(
     // the apply still gets its response (bounded window).
     let mut recent_results: BTreeMap<LogIndex, Bytes> = BTreeMap::new();
     let mut paused = false;
+    // Per-peer dropped-frame counters as of the last backpressure poll.
+    let peers: Vec<ServerId> = node.peers().to_vec();
+    let mut drops_seen: BTreeMap<ServerId, u64> = BTreeMap::new();
 
     let actions = node.start(clock.now());
     absorb(
@@ -135,6 +145,18 @@ pub fn node_loop(
         // log) must still heartbeat and notice election deadlines —
         // firing only when `recv_timeout` times out would starve them.
         if !paused {
+            // Backpressure hookup: a peer whose outbound queue shed
+            // frames since the last poll gets its pipelining window
+            // clamped — blindly topping up credit would feed the drop.
+            for &peer in &peers {
+                let dropped = outbound.frames_dropped_to(peer);
+                let seen = drops_seen.entry(peer).or_insert(0);
+                if dropped > *seen {
+                    *seen = dropped;
+                    node.note_backpressure(peer);
+                }
+            }
+
             let now = clock.now();
             let due: Vec<(TimerKind, TimerToken)> = timers
                 .iter()

@@ -549,6 +549,13 @@ impl Outbound for GroupOutbound {
     fn frames_dropped(&self) -> u64 {
         self.mesh.frames_dropped()
     }
+
+    /// Per-peer sheds (also mesh-wide, not per-group: the peer's link is
+    /// the congested resource, whichever group's frame was unlucky) —
+    /// feeds the engine's per-peer pipelining clamp.
+    fn frames_dropped_to(&self, to: ServerId) -> u64 {
+        self.mesh.frames_dropped_to(to)
+    }
 }
 
 /// The inbound routing table: which group's inbox each received envelope

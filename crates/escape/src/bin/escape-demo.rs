@@ -157,17 +157,69 @@ fn usage() -> ! {
         "escape-demo — a live TCP ESCAPE cluster with a leader kill\n\
          \n\
          usage: escape-demo [nodes] [protocol] [shards] [--metrics <addr>]\n\
+         \x20      escape-demo --chaos <seed> [--scenario <name>]\n\
          \n\
          \x20 nodes            cluster size (default 5)\n\
          \x20 protocol         escape | raft (default escape)\n\
          \x20 shards           consensus groups behind one keyspace (default 1)\n\
          \x20 --metrics <addr> serve Prometheus text exposition at <addr>\n\
+         \x20 --chaos <seed>   replay one deterministic fault-campaign trial\n\
+         \x20 --scenario <s>   campaign scenario for --chaos (default kitchen-sink)\n\
          \n\
          example — scrape the cluster while it runs:\n\
          \x20 escape-demo --metrics 127.0.0.1:9900 &\n\
          \x20 curl http://127.0.0.1:9900/metrics"
     );
     std::process::exit(0)
+}
+
+/// The interactive campaign reproducer: replays one `(scenario, seed)`
+/// trial in the deterministic simulator and narrates the fault and
+/// election lifecycle events from the typed per-node streams. The same
+/// seed prints the same bytes every time — paste it from a nightly
+/// campaign failure (or the regression corpus) to watch the run.
+fn chaos_demo(seed: u64, scenario: &str) -> ! {
+    use escape::cluster::campaign::{run_trial, scenario_plan, TrialOptions, SCENARIO_NAMES};
+
+    let Some(plan) = scenario_plan(scenario) else {
+        eprintln!(
+            "unknown scenario {scenario:?}; known: {}",
+            SCENARIO_NAMES.join(", ")
+        );
+        std::process::exit(2)
+    };
+    println!("chaos reproducer: scenario {scenario}, seed {seed}");
+    println!("plan: {plan}");
+    let outcome = run_trial(&plan, seed, &TrialOptions::default());
+    const LIFECYCLE: &[&str] = &[
+        "node_killed",
+        "node_restarted",
+        "campaign_started",
+        "leader_elected",
+        "first_commit",
+        "fsync_lied",
+        "io_error_injected",
+        "disk_full",
+        "wal_tail_truncated",
+    ];
+    for line in outcome.digest.lines() {
+        if line.starts_with("node ") {
+            println!("{line}");
+        } else if LIFECYCLE.iter().any(|name| {
+            line.split_whitespace().nth(1) == Some(name)
+        }) {
+            println!("  {line}");
+        }
+    }
+    if outcome.passed() {
+        println!("verdict: PASS — every invariant held");
+        std::process::exit(0)
+    }
+    println!("verdict: FAIL");
+    for failure in &outcome.failures {
+        println!("  - {failure}");
+    }
+    std::process::exit(1)
 }
 
 /// Starts the scrape listener and a background publisher that refreshes
@@ -215,6 +267,8 @@ fn scratch_data_dir(node: u32) -> PathBuf {
 fn main() {
     let mut positional = Vec::new();
     let mut metrics_addr: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut chaos_scenario = "kitchen-sink".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -225,8 +279,24 @@ fn main() {
                     std::process::exit(2)
                 }));
             }
+            "--chaos" => {
+                let seed = args.next().and_then(|v| v.parse().ok());
+                chaos_seed = Some(seed.unwrap_or_else(|| {
+                    eprintln!("--chaos needs a seed, e.g. --chaos 42");
+                    std::process::exit(2)
+                }));
+            }
+            "--scenario" => {
+                chaos_scenario = args.next().unwrap_or_else(|| {
+                    eprintln!("--scenario needs a name, e.g. --scenario lying-disk");
+                    std::process::exit(2)
+                });
+            }
             _ => positional.push(arg),
         }
+    }
+    if let Some(seed) = chaos_seed {
+        chaos_demo(seed, &chaos_scenario);
     }
     let mut positional = positional.into_iter();
     let n: usize = positional
