@@ -1,0 +1,246 @@
+//! The client load harness: boots a real sharded TCP cluster in-process,
+//! drives it with the shard-aware `escape-client` under the open-loop
+//! YCSB-style workload driver, and reports p50/p99/p999 latency per op
+//! kind plus error windows — per target rate of a sweep.
+//!
+//! ```text
+//! # Smoke: one quick point.
+//! cargo run --release -p escape-bench --bin loadgen -- \
+//!     --rate 300 --duration-ms 2000
+//!
+//! # The committed-baseline sweep + medians for the bench_check gate:
+//! cargo run --release -p escape-bench --bin loadgen -- \
+//!     --json crates/escape-bench/BENCH_client.json
+//! cargo run --release -p escape-bench --bin bench_check -- client \
+//!     crates/escape-bench/BENCH_client.json \
+//!     crates/escape-bench/baselines/client.json
+//! ```
+//!
+//! The medians file gets the *highest* sweep rate's percentiles (labels
+//! `client/get_p50` … `client/put_p999`, seconds): the gated ratio —
+//! p99 over p50 of the same run — is tail amplification, which is
+//! machine-independent the way bench_check's other ratio gates are.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use escape_client::{run_workload, Client, ClientConfig, WorkloadConfig, WorkloadReport};
+use escape_core::statemachine::StateMachine;
+use escape_core::types::{GroupId, Role, ServerId};
+use escape_kv::{KvCommand, KvResponse, KvStateMachine};
+use escape_shard::{ShardMap, ShardSpawnOptions, ShardedNode};
+use escape_transport::clock::monotonic_now;
+use escape_transport::spec::ProtocolSpec;
+use escape_transport::tcp::loopback_listeners;
+
+struct Args {
+    /// Target rates to sweep (ops/s). One `--rate` replaces the sweep.
+    rates: Vec<f64>,
+    duration: Duration,
+    read_fraction: f64,
+    keys: u64,
+    theta: f64,
+    servers: usize,
+    shards: usize,
+    workers: usize,
+    seed: u64,
+    json: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            rates: vec![200.0, 500.0, 1000.0],
+            duration: Duration::from_secs(5),
+            read_fraction: 0.5,
+            keys: 10_000,
+            theta: 0.99,
+            servers: 3,
+            shards: 2,
+            workers: 24,
+            seed: 0x10AD,
+            json: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value =
+                |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+            match flag.as_str() {
+                "--rate" => args.rates = vec![value("--rate").parse().expect("rate")],
+                "--duration-ms" => {
+                    args.duration =
+                        Duration::from_millis(value("--duration-ms").parse().expect("ms"))
+                }
+                "--reads" => args.read_fraction = value("--reads").parse().expect("fraction"),
+                "--keys" => args.keys = value("--keys").parse().expect("keys"),
+                "--theta" => args.theta = value("--theta").parse().expect("theta"),
+                "--servers" => args.servers = value("--servers").parse().expect("servers"),
+                "--shards" => args.shards = value("--shards").parse().expect("shards"),
+                "--workers" => args.workers = value("--workers").parse().expect("workers"),
+                "--seed" => args.seed = value("--seed").parse().expect("seed"),
+                "--json" => args.json = Some(value("--json")),
+                other => {
+                    eprintln!(
+                        "loadgen: unknown flag {other}\n\
+                         flags: --rate N | --duration-ms N | --reads F | --keys N \
+                         | --theta F | --servers N | --shards N | --workers N \
+                         | --seed N | --json PATH"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+fn boot_cluster(
+    servers: usize,
+    shards: usize,
+    seed: u64,
+) -> (HashMap<ServerId, SocketAddr>, Vec<ShardedNode>) {
+    let (addrs, listeners): (
+        HashMap<ServerId, SocketAddr>,
+        HashMap<ServerId, TcpListener>,
+    ) = loopback_listeners(servers);
+    let map = ShardMap::uniform(shards);
+    let nodes: Vec<ShardedNode> = (1..=servers as u32)
+        .map(|i| {
+            let id = ServerId::new(i);
+            ShardedNode::spawn_with(
+                id,
+                listeners[&id].try_clone().expect("clone listener"),
+                addrs.clone(),
+                ProtocolSpec::escape_local(),
+                seed,
+                map.clone(),
+                |_group| Box::new(KvStateMachine::new()) as Box<dyn StateMachine>,
+                None,
+                ShardSpawnOptions {
+                    serve_clients: true,
+                    ..ShardSpawnOptions::default()
+                },
+            )
+        })
+        .collect();
+
+    // Every group must elect before the clock starts.
+    let groups: Vec<GroupId> = map.groups().collect();
+    let deadline = monotonic_now() + Duration::from_secs(15);
+    loop {
+        let elected = groups.iter().all(|g| {
+            nodes
+                .iter()
+                .any(|n| n.status(*g).is_some_and(|s| s.role == Role::Leader))
+        });
+        if elected {
+            break;
+        }
+        assert!(monotonic_now() < deadline, "cluster did not elect in 15s");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    (addrs, nodes)
+}
+
+fn drive(client: &Client, args: &Args, rate: f64) -> WorkloadReport {
+    let config = WorkloadConfig {
+        target_ops_per_sec: rate,
+        duration: args.duration,
+        read_fraction: args.read_fraction,
+        keys: args.keys,
+        zipf_theta: args.theta,
+        workers: args.workers,
+        seed: args.seed,
+    };
+    run_workload(&config, |rank, is_read| {
+        let key = format!("key-{rank}");
+        if is_read {
+            let query = KvCommand::Get { key: key.clone() }.encode();
+            client.get(key.as_bytes(), query).is_ok()
+        } else {
+            let cmd = KvCommand::Put {
+                key: key.clone(),
+                value: Bytes::from_static(b"loadgen-value"),
+            };
+            client
+                .put(key.as_bytes(), cmd.encode())
+                .ok()
+                .map(|w| KvResponse::decode(&w.result) == Ok(KvResponse::Ok))
+                .unwrap_or(false)
+        }
+    })
+}
+
+fn row(kind: &str, stats: &escape_client::OpStats) -> String {
+    format!(
+        "  {kind:<6} {:>8} ops  p50 {:>9.3} ms  p99 {:>9.3} ms  p999 {:>9.3} ms  max {:>9.3} ms",
+        stats.count,
+        stats.p50 * 1e3,
+        stats.p99 * 1e3,
+        stats.p999 * 1e3,
+        stats.max * 1e3,
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    eprintln!(
+        "loadgen: {} server(s) x {} shard(s), {} keys theta {}, {:.0}% reads, {:?} per rate",
+        args.servers,
+        args.shards,
+        args.keys,
+        args.theta,
+        args.read_fraction * 100.0,
+        args.duration,
+    );
+    let (addrs, nodes) = boot_cluster(args.servers, args.shards, args.seed);
+    let client = Client::connect(&addrs, ClientConfig::default()).expect("client bootstrap");
+
+    let mut last: Option<WorkloadReport> = None;
+    for &rate in &args.rates {
+        let report = drive(&client, &args, rate);
+        println!("rate {rate:.0} ops/s:");
+        println!("{}", row("reads", &report.reads));
+        println!("{}", row("writes", &report.writes));
+        println!(
+            "  {} attempted, {} errors, max success gap {:?}{}",
+            report.attempted,
+            report.errors,
+            report.max_success_gap,
+            if report.error_windows.is_empty() {
+                String::new()
+            } else {
+                format!(", error windows {:?}", report.error_windows)
+            }
+        );
+        last = Some(report);
+    }
+
+    // Medians for bench_check: the highest (= last) rate's percentiles.
+    if let Some(path) = &args.json {
+        let report = last.expect("at least one rate ran");
+        let mut out = String::from("{\n");
+        for (label, value) in [
+            ("client/get_p50", report.reads.p50),
+            ("client/get_p99", report.reads.p99),
+            ("client/get_p999", report.reads.p999),
+            ("client/put_p50", report.writes.p50),
+            ("client/put_p99", report.writes.p99),
+            ("client/put_p999", report.writes.p999),
+        ] {
+            out.push_str(&format!("\"{label}\": {value:e},\n"));
+        }
+        out.push('}');
+        out.push('\n');
+        std::fs::write(path, out).expect("write medians json");
+        eprintln!("loadgen: medians written to {path}");
+    }
+
+    client.disconnect();
+    for node in nodes {
+        node.shutdown();
+    }
+}

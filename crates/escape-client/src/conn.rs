@@ -1,0 +1,226 @@
+//! One pipelined client connection per server: a writer thread that owns
+//! the socket's send side (hello first, then request frames from every
+//! caller), a reader thread that demultiplexes responses back to waiting
+//! callers by request id, and a connect cooldown so a dead server costs
+//! a cheap check — not a connect timeout — per request.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{bounded, unbounded, Sender};
+use parking_lot::Mutex;
+
+use escape_transport::clock::monotonic_now;
+use escape_wire::{
+    write_frame, ClientRequest, ClientResponse, Decode, Encode, FrameReader, RequestBody,
+    CLIENT_HELLO,
+};
+
+/// How long one connect attempt may block.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
+/// First cooldown after a failed connect; doubles per failure.
+const COOLDOWN_INITIAL: Duration = Duration::from_millis(50);
+/// Cooldown cap: a dead server is probed at least this often.
+const COOLDOWN_MAX: Duration = Duration::from_secs(1);
+
+/// A live connection's shared state: the writer's frame channel, the
+/// response registry the reader answers into, and the poison flag either
+/// side sets when the socket dies.
+#[derive(Debug)]
+struct Live {
+    frames: Sender<Bytes>,
+    pending: Mutex<HashMap<u64, Sender<ClientResponse>>>,
+    dead: AtomicBool,
+    /// Reader-side handle kept so [`Conn::disconnect`] can force the
+    /// blocking read to fail and the threads to unwind.
+    stream: TcpStream,
+}
+
+impl Live {
+    fn poison(&self) {
+        self.dead.store(true, Ordering::Release);
+        // Dropping the registry's reply senders wakes every waiter with
+        // a channel error — they retry elsewhere instead of timing out.
+        self.pending.lock().clear();
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Reconnect cooldown state (negative cache for a dead server).
+#[derive(Debug, Default)]
+struct Cooldown {
+    next_attempt: Option<Instant>,
+    backoff: Option<Duration>,
+}
+
+/// The client's handle to one server: at most one TCP connection,
+/// established lazily, shared by every in-flight request.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    addr: SocketAddr,
+    live: Mutex<Option<Arc<Live>>>,
+    cooldown: Mutex<Cooldown>,
+    next_id: AtomicU64,
+}
+
+impl Conn {
+    pub(crate) fn new(addr: SocketAddr) -> Self {
+        Conn {
+            addr,
+            live: Mutex::new(None),
+            cooldown: Mutex::new(Cooldown::default()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Sends one request and waits up to `timeout` for its response.
+    /// `None` covers every transport-level failure: the server is in
+    /// connect cooldown, the connection died, or the response did not
+    /// arrive in time. The caller retries elsewhere; this layer never
+    /// retries on its own.
+    pub(crate) fn request(&self, body: RequestBody, timeout: Duration) -> Option<ClientResponse> {
+        let live = self.establish()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = bounded(1);
+        live.pending.lock().insert(id, reply_tx);
+
+        let mut frame = BytesMut::new();
+        write_frame(&mut frame, &ClientRequest { id, body }.to_bytes());
+        if live.frames.send(frame.freeze()).is_err() {
+            live.pending.lock().remove(&id);
+            live.poison();
+            return None;
+        }
+        match reply_rx.recv_timeout(timeout) {
+            Ok(response) => Some(response),
+            Err(_) => {
+                // Timed out (slow server: the reader will drop the late
+                // response) or the reader died (poisoned already). Either
+                // way deregister and let the caller move on.
+                live.pending.lock().remove(&id);
+                None
+            }
+        }
+    }
+
+    /// Drops the current connection (if any); the next request
+    /// reconnects. Used on shutdown and by tests.
+    pub(crate) fn disconnect(&self) {
+        let live = self.live.lock().take();
+        if let Some(live) = live {
+            live.poison();
+        }
+    }
+
+    /// The current connection, or a fresh one — unless the server is in
+    /// connect cooldown, which answers `None` immediately so callers
+    /// rotate to another server instead of queueing on a dead one.
+    fn establish(&self) -> Option<Arc<Live>> {
+        let cached = self.live.lock().clone();
+        if let Some(live) = cached {
+            if !live.dead.load(Ordering::Acquire) {
+                return Some(live);
+            }
+        }
+        // Cooldown check — cheap, lock-scoped, no I/O.
+        {
+            let mut cooldown = self.cooldown.lock();
+            if let Some(at) = cooldown.next_attempt {
+                if monotonic_now() < at {
+                    return None;
+                }
+            }
+            // Claim the attempt slot now so concurrent callers don't
+            // pile up connects against a dead server.
+            let backoff = cooldown.backoff.unwrap_or(COOLDOWN_INITIAL);
+            cooldown.next_attempt = Some(monotonic_now() + backoff);
+        }
+        // Connect outside every lock (it may block for the timeout).
+        match Self::connect(self.addr) {
+            Some(live) => {
+                let mut cooldown = self.cooldown.lock();
+                cooldown.next_attempt = None;
+                cooldown.backoff = None;
+                drop(cooldown);
+                *self.live.lock() = Some(Arc::clone(&live));
+                Some(live)
+            }
+            None => {
+                let mut cooldown = self.cooldown.lock();
+                let backoff = cooldown.backoff.unwrap_or(COOLDOWN_INITIAL);
+                cooldown.backoff = Some((backoff * 2).min(COOLDOWN_MAX));
+                None
+            }
+        }
+    }
+
+    /// Dials the server, says hello, and starts the writer and reader
+    /// threads.
+    fn connect(addr: SocketAddr) -> Option<Arc<Live>> {
+        let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT).ok()?;
+        stream.set_nodelay(true).ok();
+
+        let (frames_tx, frames_rx) = unbounded::<Bytes>();
+        let mut write_half = stream.try_clone().ok()?;
+        std::thread::spawn(move || {
+            let mut hello = BytesMut::new();
+            write_frame(&mut hello, CLIENT_HELLO);
+            if write_half.write_all(&hello).is_err() {
+                return;
+            }
+            for frame in frames_rx.iter() {
+                if write_half.write_all(&frame).is_err() {
+                    return; // reader sees the close and poisons
+                }
+            }
+        });
+
+        let live = Arc::new(Live {
+            frames: frames_tx,
+            pending: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+            stream: stream.try_clone().ok()?,
+        });
+        let reader_live = Arc::clone(&live);
+        let mut read_half = stream;
+        std::thread::spawn(move || {
+            let mut reader = FrameReader::new();
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                let n = match read_half.read(&mut chunk) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => n,
+                };
+                reader.extend(&chunk[..n]);
+                loop {
+                    match reader.next_frame() {
+                        Ok(Some(mut frame)) => {
+                            let Ok(response) = ClientResponse::decode(&mut frame) else {
+                                reader_live.poison();
+                                return;
+                            };
+                            // A late response (its waiter timed out and
+                            // deregistered) is dropped on the floor.
+                            let waiter = reader_live.pending.lock().remove(&response.id);
+                            if let Some(waiter) = waiter {
+                                let _ = waiter.send(response);
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            reader_live.poison();
+                            return;
+                        }
+                    }
+                }
+            }
+            reader_live.poison();
+        });
+        Some(live)
+    }
+}

@@ -1,0 +1,374 @@
+//! An open-loop, YCSB-style workload driver: zipfian (or uniform) key
+//! popularity, a read/write mix, and a **target arrival rate** that does
+//! not slow down when the cluster does — latency is measured from each
+//! operation's *intended* start time, so a stall shows up as queueing
+//! delay in the tail percentiles instead of being silently absorbed
+//! (coordinated omission).
+
+use std::sync::Mutex as StdMutex;
+use std::time::Duration;
+
+use escape_core::rand::{Rng64, SplitMix64};
+use escape_transport::clock::monotonic_now;
+
+/// One workload run's shape.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Intended arrival rate, operations per second (open loop).
+    pub target_ops_per_sec: f64,
+    /// How long to generate arrivals for.
+    pub duration: Duration,
+    /// Fraction of operations that are reads, in `[0, 1]`.
+    pub read_fraction: f64,
+    /// Key-space size; keys are `key-<i>` for `i < keys`.
+    pub keys: u64,
+    /// Zipfian skew `theta` in `[0, 1)`; `0.0` means uniform. YCSB's
+    /// default hot-key skew is `0.99`.
+    pub zipf_theta: f64,
+    /// Worker threads issuing the operations (each owns every i-th
+    /// arrival). Must cover `target_ops_per_sec × worst-case latency`
+    /// or workers themselves become the bottleneck and arrivals slip.
+    pub workers: usize,
+    /// RNG seed (keys + read/write coin).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            target_ops_per_sec: 500.0,
+            duration: Duration::from_secs(5),
+            read_fraction: 0.5,
+            keys: 1000,
+            zipf_theta: 0.99,
+            workers: 16,
+            seed: 42,
+        }
+    }
+}
+
+/// YCSB's bounded zipfian sampler: item 0 is the hottest, with
+/// popularity decaying as `1/rank^theta`. `theta == 0` degenerates to
+/// uniform. Construction is O(n) (the zeta sum); sampling is O(1).
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+    threshold2: f64,
+}
+
+impl Zipfian {
+    /// A sampler over `0..n` with skew `theta` (`0 ≤ theta < 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian needs a non-empty item set");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2: f64 = (1..=2u64.min(n))
+            .map(|i| 1.0 / (i as f64).powf(theta))
+            .sum();
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            zetan,
+            alpha,
+            eta,
+            threshold2: 1.0 + 0.5f64.powf(theta),
+        }
+    }
+
+    /// Draws one item rank in `0..n` (0 = hottest).
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        if self.theta == 0.0 {
+            return rng.next_u64() % self.n;
+        }
+        // 53-bit uniform in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < self.threshold2 {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// Latency percentiles for one operation kind, in seconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpStats {
+    /// Successful operations of this kind.
+    pub count: u64,
+    /// Median latency.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Worst observed.
+    pub max: f64,
+}
+
+impl OpStats {
+    fn from_sorted(samples: &[f64]) -> OpStats {
+        if samples.is_empty() {
+            return OpStats::default();
+        }
+        let pick = |p: f64| {
+            let idx = (p * (samples.len() - 1) as f64).round() as usize;
+            samples[idx.min(samples.len() - 1)]
+        };
+        OpStats {
+            count: samples.len() as u64,
+            p50: pick(0.50),
+            p99: pick(0.99),
+            p999: pick(0.999),
+            max: samples[samples.len() - 1],
+        }
+    }
+}
+
+/// The outcome of one workload run.
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadReport {
+    /// Read-side latency percentiles (intended-start based).
+    pub reads: OpStats,
+    /// Write-side latency percentiles (intended-start based).
+    pub writes: OpStats,
+    /// Operations attempted (reads + writes, success or not).
+    pub attempted: u64,
+    /// Operations that failed (budget/attempts exhausted).
+    pub errors: u64,
+    /// Failed ops bucketed by whole seconds since the run started;
+    /// only non-zero buckets appear, ascending. This is the "error
+    /// window" view: a leader kill shows up as one or two hot buckets,
+    /// not a smear.
+    pub error_windows: Vec<(u64, u64)>,
+    /// The longest gap between consecutive *successful* completions
+    /// anywhere in the run — the client-observed outage during a
+    /// failover.
+    pub max_success_gap: Duration,
+}
+
+/// One worker's raw samples, merged after the run.
+#[derive(Default)]
+struct WorkerLog {
+    /// (is_read, latency seconds) per success.
+    latencies: Vec<(bool, f64)>,
+    /// Seconds-bucket of each failure.
+    error_seconds: Vec<u64>,
+    /// Completion offsets (µs since run start) of successes.
+    success_at: Vec<u64>,
+    attempted: u64,
+}
+
+/// Runs the workload against `op`: called as `op(key_rank, is_read)`
+/// and answering `true` on success. `op` must be safe to call from
+/// [`WorkloadConfig::workers`] threads at once (the shard-aware
+/// [`Client`](crate::Client) is).
+///
+/// Open loop: operation `i` is *due* at `start + i/rate`; a worker that
+/// falls behind does not thin the arrival schedule, it accumulates the
+/// delay into the measured latencies.
+pub fn run_workload<F>(config: &WorkloadConfig, op: F) -> WorkloadReport
+where
+    F: Fn(u64, bool) -> bool + Sync,
+{
+    assert!(config.workers > 0, "need at least one worker");
+    assert!(
+        config.target_ops_per_sec > 0.0,
+        "open loop needs a positive rate"
+    );
+    let total_ops = (config.target_ops_per_sec * config.duration.as_secs_f64()) as u64;
+    let interval = Duration::from_secs_f64(1.0 / config.target_ops_per_sec);
+    let zipf = Zipfian::new(config.keys, config.zipf_theta);
+    let start = monotonic_now() + Duration::from_millis(10);
+
+    let logs: Vec<StdMutex<WorkerLog>> = (0..config.workers)
+        .map(|_| StdMutex::new(WorkerLog::default()))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (worker, log) in logs.iter().enumerate() {
+            let op = &op;
+            let zipf = &zipf;
+            scope.spawn(move || {
+                let mut rng =
+                    SplitMix64::new(config.seed.wrapping_add(0x9E37 * (worker as u64 + 1)));
+                let mut local = WorkerLog::default();
+                let mut i = worker as u64;
+                while i < total_ops {
+                    let due = start + interval.mul_f64(i as f64);
+                    let now = monotonic_now();
+                    if now < due {
+                        std::thread::sleep(due - now);
+                    }
+                    let key = zipf.sample(&mut rng);
+                    let coin = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    let is_read = coin < config.read_fraction;
+                    local.attempted += 1;
+                    let ok = op(key, is_read);
+                    let done = monotonic_now();
+                    // Intended-start latency: queueing delay included.
+                    let latency = done.saturating_duration_since(due).as_secs_f64();
+                    let offset = done.saturating_duration_since(start);
+                    if ok {
+                        local.latencies.push((is_read, latency));
+                        local.success_at.push(offset.as_micros() as u64);
+                    } else {
+                        local.error_seconds.push(offset.as_secs());
+                    }
+                    i += config.workers as u64;
+                }
+                *log.lock().expect("worker log") = local;
+            });
+        }
+    });
+
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    let mut error_buckets: std::collections::BTreeMap<u64, u64> = Default::default();
+    let mut successes = Vec::new();
+    let mut attempted = 0u64;
+    let mut errors = 0u64;
+    for log in logs {
+        let log = log.into_inner().expect("worker log");
+        attempted += log.attempted;
+        errors += log.error_seconds.len() as u64;
+        for second in log.error_seconds {
+            *error_buckets.entry(second).or_default() += 1;
+        }
+        for (is_read, latency) in log.latencies {
+            if is_read {
+                reads.push(latency);
+            } else {
+                writes.push(latency);
+            }
+        }
+        successes.extend(log.success_at);
+    }
+    reads.sort_by(f64::total_cmp);
+    writes.sort_by(f64::total_cmp);
+    successes.sort_unstable();
+    let max_success_gap = successes
+        .windows(2)
+        .map(|pair| pair[1] - pair[0])
+        .max()
+        .map_or(Duration::ZERO, Duration::from_micros);
+
+    WorkloadReport {
+        reads: OpStats::from_sorted(&reads),
+        writes: OpStats::from_sorted(&writes),
+        attempted,
+        errors,
+        error_windows: error_buckets.into_iter().collect(),
+        max_success_gap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_skews_toward_low_ranks() {
+        let zipf = Zipfian::new(1000, 0.99);
+        let mut rng = SplitMix64::new(7);
+        let mut hot = 0u64;
+        const DRAWS: u64 = 20_000;
+        for _ in 0..DRAWS {
+            if zipf.sample(&mut rng) < 10 {
+                hot += 1;
+            }
+        }
+        // Under theta=0.99 the top-10 of 1000 keys draw a large constant
+        // fraction; under uniform they would get ~1%.
+        assert!(
+            hot > DRAWS / 10,
+            "top-10 keys drew only {hot}/{DRAWS} — not zipfian"
+        );
+    }
+
+    #[test]
+    fn zipfian_theta_zero_is_roughly_uniform() {
+        let zipf = Zipfian::new(100, 0.0);
+        let mut rng = SplitMix64::new(9);
+        let mut counts = [0u64; 100];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (
+            counts.iter().min().copied().unwrap_or(0),
+            counts.iter().max().copied().unwrap_or(0),
+        );
+        assert!(min > 250 && max < 1000, "uniform draw skewed: {min}..{max}");
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        for n in [1u64, 2, 3, 10] {
+            let zipf = Zipfian::new(n, 0.9);
+            let mut rng = SplitMix64::new(n);
+            for _ in 0..2000 {
+                assert!(zipf.sample(&mut rng) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn open_loop_measures_from_intended_start() {
+        // A deliberately slow op at a rate the single worker cannot
+        // sustain: intended-start latencies must grow (queueing), which
+        // closed-loop measurement would hide.
+        let config = WorkloadConfig {
+            target_ops_per_sec: 200.0,
+            duration: Duration::from_millis(250),
+            read_fraction: 0.0,
+            keys: 10,
+            zipf_theta: 0.0,
+            workers: 1,
+            seed: 3,
+        };
+        let report = run_workload(&config, |_key, _read| {
+            std::thread::sleep(Duration::from_millis(20));
+            true
+        });
+        assert!(report.attempted > 10);
+        assert_eq!(report.errors, 0);
+        // Service time is 20ms but arrivals come every 5ms: the p99 must
+        // reflect the backlog, far above the bare service time.
+        assert!(
+            report.writes.p99 > 0.050,
+            "p99 {:.3}s does not show queueing delay",
+            report.writes.p99
+        );
+        assert!(report.writes.p50 >= report.writes.p50.min(report.writes.p99));
+    }
+
+    #[test]
+    fn failures_land_in_error_windows_and_gap() {
+        let config = WorkloadConfig {
+            target_ops_per_sec: 100.0,
+            duration: Duration::from_millis(400),
+            read_fraction: 0.0,
+            keys: 4,
+            zipf_theta: 0.0,
+            workers: 2,
+            seed: 5,
+        };
+        let fail_all = run_workload(&config, |_, _| false);
+        assert_eq!(fail_all.errors, fail_all.attempted);
+        assert!(!fail_all.error_windows.is_empty());
+        assert_eq!(fail_all.reads.count + fail_all.writes.count, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! The map-staleness satellite: a client whose cached shard map predates
+//! a split must converge onto the servers' map through redirects — and
+//! while it converges, the write it carries is neither lost nor applied
+//! twice, and never lands in a group that does not own the key.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use escape_client::{Client, ClientConfig};
+use escape_core::statemachine::StateMachine;
+use escape_core::types::{GroupId, LogIndex, Role, ServerId};
+use escape_kv::{KvCommand, KvResponse, KvStateMachine};
+use escape_shard::{ShardMap, ShardSpawnOptions, ShardedNode};
+use escape_transport::spec::ProtocolSpec;
+use escape_transport::tcp::loopback_listeners;
+
+/// Every apply across the whole cluster: `(server, group, command)`.
+type ApplyLog = Arc<Mutex<Vec<(ServerId, GroupId, Bytes)>>>;
+
+/// A [`KvStateMachine`] that records each applied command into the
+/// shared log before executing it, so the test can assert exactly-once
+/// and correct-group placement cluster-wide.
+#[derive(Debug)]
+struct Recording {
+    server: ServerId,
+    group: GroupId,
+    log: ApplyLog,
+    inner: KvStateMachine,
+}
+
+impl StateMachine for Recording {
+    fn apply(&mut self, index: LogIndex, command: &Bytes) -> Bytes {
+        self.log
+            .lock()
+            .unwrap()
+            .push((self.server, self.group, command.clone()));
+        self.inner.apply(index, command)
+    }
+
+    fn query(&self, query: &Bytes) -> Bytes {
+        self.inner.query(query)
+    }
+}
+
+fn wait_for_all_leaders(nodes: &[ShardedNode], groups: &[GroupId], timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let elected = groups.iter().all(|g| {
+            nodes
+                .iter()
+                .any(|n| n.status(*g).is_some_and(|s| s.role == Role::Leader))
+        });
+        if elected {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "not every group elected within {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn stale_client_converges_through_redirects_without_duplicating_writes() {
+    // Servers run the POST-split map (version 2); the client boots with
+    // the pre-split map (version 1) as a deployment would after a shard
+    // split it never heard about.
+    let stale = ShardMap::uniform(2);
+    let current = stale.split(GroupId::new(0)).expect("splittable");
+    assert_eq!(current.version(), stale.version() + 1);
+
+    let (addrs, listeners) = loopback_listeners(3);
+    let log: ApplyLog = Arc::new(Mutex::new(Vec::new()));
+    let nodes: Vec<ShardedNode> = (1..=3u32)
+        .map(|i| {
+            let id = ServerId::new(i);
+            let log = Arc::clone(&log);
+            ShardedNode::spawn_with(
+                id,
+                listeners[&id].try_clone().expect("clone listener"),
+                addrs.clone(),
+                ProtocolSpec::escape_local(),
+                0x57A1,
+                current.clone(),
+                move |group| {
+                    Box::new(Recording {
+                        server: id,
+                        group,
+                        log: Arc::clone(&log),
+                        inner: KvStateMachine::new(),
+                    }) as Box<dyn StateMachine>
+                },
+                None,
+                ShardSpawnOptions {
+                    serve_clients: true,
+                    ..ShardSpawnOptions::default()
+                },
+            )
+        })
+        .collect();
+    let groups: Vec<GroupId> = current.groups().collect();
+    wait_for_all_leaders(&nodes, &groups, Duration::from_secs(10));
+
+    // A key the split actually moved: the stale map routes it to the old
+    // group, the current map to the new one. Such keys exist by
+    // construction (the split halved group 0's range).
+    let moved = (0u64..)
+        .map(|i| format!("key-{i}"))
+        .find(|k| stale.owner(k.as_bytes()) != current.owner(k.as_bytes()))
+        .expect("the split moved some keys");
+    let stale_owner = stale.owner(moved.as_bytes());
+    let current_owner = current.owner(moved.as_bytes());
+
+    let client = Client::with_map(&addrs, stale.clone(), ClientConfig::default());
+    assert_eq!(client.map_version(), stale.version());
+    assert_eq!(client.route(moved.as_bytes()), stale_owner);
+
+    // The write: misrouted at first, redirected, map refreshed, retried —
+    // one call from the caller's point of view.
+    let command = KvCommand::Put {
+        key: moved.clone(),
+        value: Bytes::from_static(b"after-split"),
+    }
+    .encode();
+    let written = client
+        .put(moved.as_bytes(), command.clone())
+        .expect("the stale client's write must converge and commit");
+    assert_eq!(written.group, current_owner, "committed in the map's owner");
+    assert_eq!(KvResponse::decode(&written.result).unwrap(), KvResponse::Ok);
+
+    // The redirect carried the servers' map version; the client must now
+    // agree with the cluster about the key's owner.
+    assert_eq!(client.map_version(), current.version());
+    assert_eq!(client.route(moved.as_bytes()), current_owner);
+
+    // Let replication fan the entry out to the followers, then audit
+    // every apply in the cluster.
+    std::thread::sleep(Duration::from_millis(300));
+    let applies = log.lock().unwrap().clone();
+    let of_command: Vec<&(ServerId, GroupId, Bytes)> =
+        applies.iter().filter(|(_, _, c)| *c == command).collect();
+    assert!(
+        !of_command.is_empty(),
+        "the committed write must have applied somewhere"
+    );
+    for (server, group, _) in &of_command {
+        assert_eq!(
+            *group, current_owner,
+            "server {server:?} applied the write in {group:?}, which does \
+             not own the key under the current map"
+        );
+    }
+    // Exactly once per replica: no server's owner-group machine saw the
+    // command twice (a double-apply would show up here even though the
+    // client retried the request).
+    let mut per_server: HashMap<ServerId, usize> = HashMap::new();
+    for (server, _, _) in &of_command {
+        *per_server.entry(*server).or_default() += 1;
+    }
+    for (server, count) in &per_server {
+        assert_eq!(
+            *count, 1,
+            "server {server:?} applied the write {count} times"
+        );
+    }
+
+    // And the value is really there: a linearizable read through the
+    // (now fresh) client returns it.
+    let query = KvCommand::Get { key: moved.clone() }.encode();
+    let raw = client.get(moved.as_bytes(), query).expect("read converges");
+    assert_eq!(
+        KvResponse::decode(&raw).unwrap(),
+        KvResponse::Value(Some(Bytes::from_static(b"after-split")))
+    );
+
+    client.disconnect();
+    for node in nodes {
+        node.shutdown();
+    }
+}

@@ -176,6 +176,7 @@ pub const SCENARIO_NAMES: &[&str] = &[
     "lying-disk",
     "flaky-disk",
     "disk-full",
+    "disk-full-failover",
     "kitchen-sink",
 ];
 
@@ -205,6 +206,11 @@ pub fn scenario_plan(name: &str) -> Option<FaultPlan> {
         ],
         "flaky-disk" => vec![FaultAtom::KillLeader, FaultAtom::TransientIo(0.2)],
         "disk-full" => vec![FaultAtom::DiskFull(4)],
+        // The PR 9 residual case: a leader kill *measured for bounds*
+        // while some node's disk fills and fail-stops it nearby. The
+        // timeline is keyed by the killed leader's own crash event, so
+        // the victim's extra crash cannot garble the phase measurements.
+        "disk-full-failover" => vec![FaultAtom::KillLeader, FaultAtom::DiskFull(4)],
         "kitchen-sink" => vec![
             FaultAtom::KillLeader,
             chaos,
@@ -222,8 +228,9 @@ pub fn scenario_plan(name: &str) -> Option<FaultPlan> {
 /// Knobs for one trial.
 #[derive(Clone, Debug)]
 pub struct TrialOptions {
-    /// Failover phase bounds, checked when the plan kills the leader
-    /// (and no disk-full crash muddies the timeline).
+    /// Failover phase bounds, checked whenever the plan kills the leader
+    /// — keyed on that leader's own crash event, so concurrent
+    /// fault-induced crashes (disk-full fail-stops) don't muddy it.
     pub bounds: PhaseBounds,
     /// Where fault-injecting storage puts node directories; `None` uses
     /// a fresh temp directory that is removed when the trial ends.
@@ -609,16 +616,21 @@ pub fn run_trial(plan: &FaultPlan, seed: u64, opts: &TrialOptions) -> TrialOutco
         }
     }
 
-    // Phase 3: failover timeline bounds (skipped when a disk-full crash
-    // can interleave — the reconstructor keys off the most recent kill).
-    if kill_leader && disk_full_victim.is_none() && failures.is_empty() {
-        match cluster.failover_timeline() {
-            Ok(timeline) => {
-                if let Err(violations) = timeline.check_bounds(&opts.bounds) {
-                    failures.push(format!("bounds: {violations}"));
+    // Phase 3: failover timeline bounds, keyed on the killed leader's
+    // own crash event — so a disk-full victim fail-stopping before or
+    // after the kill cannot shift the anchor. (This check used to be
+    // skipped outright for any plan carrying a disk-full atom, because
+    // the reconstructor keyed off the most recent crash of *anyone*.)
+    if failures.is_empty() {
+        if let Some(victim) = killed {
+            match cluster.failover_timeline_for(victim) {
+                Ok(timeline) => {
+                    if let Err(violations) = timeline.check_bounds(&opts.bounds) {
+                        failures.push(format!("bounds: {violations}"));
+                    }
                 }
+                Err(error) => failures.push(format!("timeline: {error:?}")),
             }
-            Err(error) => failures.push(format!("timeline: {error:?}")),
         }
     }
 
@@ -905,6 +917,39 @@ mod tests {
             outcome.digest.contains("disk_full"),
             "the victim's event ring must carry the disk_full event"
         );
+    }
+
+    /// Regression (PR 9 residual): disk-full trials used to skip the
+    /// failover-bound check entirely, because the victim's fail-stop
+    /// crash confused most-recent-crash timeline keying. With the
+    /// timeline keyed by the killed leader's own crash, the bound is
+    /// enforced again: impossible (zero) bounds must fail the combined
+    /// kill+disk-full plan — proving the check actually runs — while the
+    /// default generous bounds pass it.
+    #[test]
+    fn disk_full_no_longer_skips_the_failover_bound() {
+        let plan = plan("disk-full-failover");
+        let zero = TrialOptions {
+            bounds: PhaseBounds {
+                detect_micros: 0,
+                campaign_micros: 0,
+                elect_micros: 0,
+                commit_micros: 0,
+            },
+            ..TrialOptions::default()
+        };
+        let outcome = run_trial(&plan, 7, &zero);
+        assert!(
+            outcome
+                .failures
+                .iter()
+                .any(|f| f.starts_with("bounds:") || f.starts_with("timeline:")),
+            "zero bounds must trip the (re-enabled) failover check under \
+             disk-full; failures: {:?}",
+            outcome.failures
+        );
+        let outcome = run_trial(&plan, 7, &TrialOptions::default());
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
     }
 
     /// A quiet plan exercises the same pipeline with no faults — the

@@ -467,6 +467,35 @@ impl SimCluster {
         reconstruct(killed_at, &self.event_streams())
     }
 
+    /// Like [`SimCluster::failover_timeline`], but keyed on the most
+    /// recent crash of **`killed` specifically** rather than the most
+    /// recent crash of anyone.
+    ///
+    /// This is the right anchor when faults can crash *other* nodes
+    /// around the measured kill: a disk-full victim fail-stopping after
+    /// the leader kill used to shift the "killed at" anchor to its own
+    /// (irrelevant) crash and garble every phase measurement.
+    ///
+    /// # Errors
+    ///
+    /// [`TimelineError`] when `killed` never crashed or a phase marker is
+    /// missing.
+    pub fn failover_timeline_for(
+        &self,
+        killed: ServerId,
+    ) -> Result<FailoverTimeline, TimelineError> {
+        let killed_at = self
+            .events
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                ObservedEvent::Crash { at, node } if *node == killed => Some(at.as_micros()),
+                _ => None,
+            })
+            .ok_or(TimelineError::NoDetection)?;
+        reconstruct(killed_at, &self.event_streams())
+    }
+
     /// Network statistics.
     pub fn net_stats(&self) -> escape_simnet::sim::NetStats {
         self.sim.stats()
@@ -847,6 +876,62 @@ mod tests {
             "violations: {:?}",
             cluster.safety().violations()
         );
+    }
+
+    /// Regression: the timeline used to key off the most recent crash of
+    /// *anyone*, so an unrelated node dying after the measured kill (a
+    /// disk-full fail-stop, say) shifted the anchor and garbled every
+    /// phase. `failover_timeline_for` pins the anchor to the killed
+    /// leader's own crash event.
+    #[test]
+    fn timeline_keyed_by_killed_node_survives_a_later_unrelated_crash() {
+        let mut cluster = SimCluster::new(reflex_config(77));
+        cluster.bootstrap(Duration::from_millis(500));
+        let old_term = cluster
+            .node(cluster.current_leader().expect("bootstrapped leader"))
+            .current_term();
+        let killed = cluster.crash_leader();
+        let horizon = cluster.now() + Duration::from_secs(10);
+        let winner = cluster
+            .run_until_new_leader(old_term, horizon)
+            .expect("a successor must be elected");
+        cluster.run_for(Duration::from_millis(500));
+
+        // A bystander (not the old leader, not the new one) crashes well
+        // after the failover completed.
+        let bystander = cluster
+            .ids()
+            .into_iter()
+            .find(|id| *id != killed && *id != winner && cluster.is_alive(*id))
+            .expect("five nodes leave a bystander");
+        cluster.crash(bystander);
+        cluster.run_for(Duration::from_millis(200));
+
+        // Keyed on the killed leader, the timeline still reconstructs and
+        // still fits the reflex bounds.
+        let timeline = cluster
+            .failover_timeline_for(killed)
+            .expect("keyed reconstruction survives the extra crash");
+        assert_eq!(timeline.winner, winner.get());
+        assert_eq!(timeline.campaigns, 1);
+        timeline
+            .check_bounds(&PhaseBounds::reflex_200ms())
+            .unwrap_or_else(|violations| {
+                panic!("reflex bound violated: {violations}\n{}", timeline.render())
+            });
+
+        // The old most-recent-crash anchor, by contrast, keys off the
+        // bystander's crash — after which no election happened at all, so
+        // reconstruction cannot find the same failover (it either errors
+        // or measures a different window).
+        match cluster.failover_timeline() {
+            Err(_) => {}
+            Ok(mislabeled) => assert_ne!(
+                (mislabeled.leader_killed_at, mislabeled.winner),
+                (timeline.leader_killed_at, timeline.winner),
+                "most-recent-crash keying should not accidentally equal the keyed anchor"
+            ),
+        }
     }
 
     /// Determinism: the same seed must yield byte-identical event logs —

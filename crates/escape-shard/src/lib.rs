@@ -54,5 +54,5 @@ pub mod node;
 pub mod router;
 
 pub use map::ShardMap;
-pub use node::{group_data_dir, ShardError, ShardedNode};
+pub use node::{group_data_dir, ShardError, ShardSpawnOptions, ShardedNode};
 pub use router::{Redirect, Router};

@@ -88,6 +88,37 @@ impl ShardMap {
         (0..self.ranges.len()).map(GroupId::from_index)
     }
 
+    /// The raw `(range start, owning group)` table, ascending by start —
+    /// the map's wire form (`escape_wire::WireShardMap` carries exactly
+    /// this plus the version).
+    pub fn ranges(&self) -> &[(u64, GroupId)] {
+        &self.ranges
+    }
+
+    /// Reconstructs a map received off the wire, validating the shape
+    /// every routing method assumes: a nonzero version, a non-empty table
+    /// whose first range starts at 0 with strictly ascending starts, and
+    /// owning groups dense `0..len` (each exactly once). Returns `None`
+    /// for anything else — a corrupt or adversarial map must not become
+    /// a router.
+    pub fn from_wire(version: u64, ranges: Vec<(u64, GroupId)>) -> Option<ShardMap> {
+        if version == 0 || ranges.first().map(|(start, _)| *start) != Some(0) {
+            return None;
+        }
+        if !ranges.windows(2).all(|pair| pair[0].0 < pair[1].0) {
+            return None;
+        }
+        let mut seen = vec![false; ranges.len()];
+        for (_, group) in &ranges {
+            let slot = seen.get_mut(group.index())?;
+            if *slot {
+                return None;
+            }
+            *slot = true;
+        }
+        Some(ShardMap { version, ranges })
+    }
+
     /// The group owning `hash` on the `u64` line.
     pub fn owner_of_hash(&self, hash: u64) -> GroupId {
         // partition_point: first range starting strictly above `hash`;
@@ -237,6 +268,31 @@ mod tests {
     #[should_panic(expected = "at least one group")]
     fn zero_groups_rejected() {
         let _ = ShardMap::uniform(0);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_routing() {
+        let map = ShardMap::uniform(4).split(GroupId::new(2)).expect("splits");
+        let rebuilt = ShardMap::from_wire(map.version(), map.ranges().to_vec())
+            .expect("a map's own wire form must validate");
+        assert_eq!(rebuilt, map);
+        for i in 0..200 {
+            let key = format!("wire-{i}");
+            assert_eq!(rebuilt.owner(key.as_bytes()), map.owner(key.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn from_wire_rejects_malformed_tables() {
+        let g = GroupId::new;
+        // Empty, zero version, not starting at 0, unsorted, duplicate
+        // group, non-dense ids.
+        assert!(ShardMap::from_wire(1, vec![]).is_none());
+        assert!(ShardMap::from_wire(0, vec![(0, g(0))]).is_none());
+        assert!(ShardMap::from_wire(1, vec![(5, g(0))]).is_none());
+        assert!(ShardMap::from_wire(1, vec![(0, g(0)), (9, g(1)), (4, g(2))]).is_none());
+        assert!(ShardMap::from_wire(1, vec![(0, g(0)), (9, g(0))]).is_none());
+        assert!(ShardMap::from_wire(1, vec![(0, g(0)), (9, g(5))]).is_none());
     }
 
     #[test]

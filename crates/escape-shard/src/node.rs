@@ -22,12 +22,15 @@ use crossbeam::channel::{bounded, Sender};
 
 use escape_core::engine::{Node, ProposeError};
 use escape_core::statemachine::StateMachine;
+use escape_core::storage::Storage;
 use escape_core::types::{GroupId, LogIndex, ServerId};
 use escape_storage::WalStorage;
 use escape_transport::runtime::{node_loop, NodeInput, NodeStatus};
+use escape_transport::service::{ClientRouter, ClientService, RouteVerdict};
 use escape_transport::spec::ProtocolSpec;
-use escape_transport::tcp::{spawn_acceptor, GroupOutbound, GroupRoutes, TcpMesh};
+use escape_transport::tcp::{spawn_acceptor, GroupOutbound, GroupRoutes, StorageHook, TcpMesh};
 use escape_transport::RuntimeClock;
+use escape_wire::WireShardMap;
 
 use crate::map::ShardMap;
 use crate::router::{Redirect, Router};
@@ -87,6 +90,64 @@ pub fn group_data_dir(root: &Path, group: GroupId) -> PathBuf {
     root.join(format!("group-{:08}", group.get()))
 }
 
+/// Optional plumbing for [`ShardedNode::spawn_with`]. `Default` is a
+/// plain node — exactly what [`ShardedNode::spawn`] builds.
+#[derive(Clone, Default)]
+pub struct ShardSpawnOptions {
+    /// Wraps each hosted group's freshly opened WAL before its engine
+    /// takes ownership (fault injection under the real TCP stack); see
+    /// [`StorageHook`].
+    pub storage_hook: Option<StorageHook>,
+    /// Answer `escape-wire` client connections (hello-framed) on the
+    /// same listener the peer mesh uses, routed through this node's
+    /// shard map.
+    pub serve_clients: bool,
+}
+
+impl std::fmt::Debug for ShardSpawnOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSpawnOptions")
+            .field(
+                "storage_hook",
+                &self.storage_hook.as_ref().map(|_| "<hook>"),
+            )
+            .field("serve_clients", &self.serve_clients)
+            .finish()
+    }
+}
+
+/// The sharded node's [`ClientRouter`]: key ownership comes from the
+/// shard map (misroutes answer with a redirect naming the owner and the
+/// map version), and owned groups resolve to their engine inbox.
+#[derive(Debug)]
+struct ShardClientRouter {
+    router: Router,
+    inboxes: Vec<Sender<NodeInput>>,
+}
+
+impl ClientRouter for ShardClientRouter {
+    fn route(&self, group: GroupId, key: &[u8]) -> RouteVerdict {
+        match self.router.check(group, key) {
+            Ok(owner) => match self.inboxes.get(owner.index()) {
+                Some(inbox) => RouteVerdict::Local(inbox.clone()),
+                None => RouteVerdict::Unknown,
+            },
+            Err(redirect) => RouteVerdict::Redirect {
+                asked: redirect.asked,
+                owner: redirect.owner,
+                map_version: redirect.map_version,
+            },
+        }
+    }
+
+    fn map_snapshot(&self) -> WireShardMap {
+        WireShardMap {
+            version: self.router.map().version(),
+            ranges: self.router.map().ranges().to_vec(),
+        }
+    }
+}
+
 /// One server of a sharded cluster: every consensus group's engine, one
 /// shared TCP mesh, and the router for client commands.
 ///
@@ -129,8 +190,40 @@ impl ShardedNode {
         spec: ProtocolSpec,
         seed: u64,
         map: ShardMap,
+        state_machine_for: impl FnMut(GroupId) -> Box<dyn StateMachine>,
+        data_dir: Option<&Path>,
+    ) -> Self {
+        Self::spawn_with(
+            id,
+            listener,
+            addrs,
+            spec,
+            seed,
+            map,
+            state_machine_for,
+            data_dir,
+            ShardSpawnOptions::default(),
+        )
+    }
+
+    /// The fully general spawn: [`ShardedNode::spawn`] plus whatever
+    /// [`ShardSpawnOptions`] enables — per-group storage fault injection
+    /// and/or client serving on the peer listener.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`ShardedNode::spawn`].
+    #[allow(clippy::too_many_arguments)] // mirrors spawn + the options bundle
+    pub fn spawn_with(
+        id: ServerId,
+        listener: TcpListener,
+        addrs: HashMap<ServerId, SocketAddr>,
+        spec: ProtocolSpec,
+        seed: u64,
+        map: ShardMap,
         mut state_machine_for: impl FnMut(GroupId) -> Box<dyn StateMachine>,
         data_dir: Option<&Path>,
+        options: ShardSpawnOptions,
     ) -> Self {
         let my_addr = *addrs.get(&id).expect("own address present");
         let ids: Vec<ServerId> = {
@@ -157,28 +250,34 @@ impl ShardedNode {
             inboxes.push(tx);
             receivers.push((group, rx));
         }
+        let service = options.serve_clients.then(|| {
+            ClientService::new(Arc::new(ShardClientRouter {
+                router: Router::new(map.clone()),
+                inboxes: inboxes.clone(),
+            }))
+        });
         threads.push(spawn_acceptor(
             id,
             listener,
             routes.clone(),
             stop_accepting.clone(),
+            service,
         ));
 
         for (group, rx) in receivers {
             let mut builder = Node::builder(id, ids.clone())
-                .policy(spec.build_group_policy(
-                    id,
-                    n,
-                    seed.wrapping_add(id.get() as u64),
-                    group,
-                ))
+                .policy(spec.build_group_policy(id, n, seed.wrapping_add(id.get() as u64), group))
                 .state_machine(state_machine_for(group))
                 .options(ProtocolSpec::local_options());
             if let Some(root) = data_dir {
                 let dir = group_data_dir(root, group);
                 let (storage, recovered) =
                     WalStorage::open(&dir).expect("open/recover group data directory");
-                builder = builder.storage(Box::new(storage)).recover(recovered);
+                let boxed: Box<dyn Storage> = match &options.storage_hook {
+                    Some(hook) => hook(id, group, storage),
+                    None => Box::new(storage),
+                };
+                builder = builder.storage(boxed).recover(recovered);
             }
             let node = builder.build();
             let outbound: Arc<dyn escape_transport::Outbound + Sync> =
@@ -276,7 +375,10 @@ impl ShardedNode {
         key: &[u8],
         command: Bytes,
     ) -> Result<LogIndex, ShardError> {
-        let group = self.router.check(group, key).map_err(ShardError::Redirect)?;
+        let group = self
+            .router
+            .check(group, key)
+            .map_err(ShardError::Redirect)?;
         let inbox = self.inbox(group).ok_or(ShardError::UnknownGroup(group))?;
         let (tx, rx) = bounded(1);
         inbox

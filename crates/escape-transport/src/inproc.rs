@@ -58,6 +58,22 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// The longest any single internal reply wait may park the caller, even
+/// when the caller's own deadline is further out: a dead node thread
+/// should read as "no answer" in bounded time, not hang a generous
+/// client budget.
+const MAX_REPLY_WAIT: std::time::Duration = std::time::Duration::from_secs(1);
+
+/// The wait left until `deadline`; `None` once the deadline has passed
+/// (callers treat that as their timeout).
+fn remaining_until(deadline: std::time::Instant) -> Option<std::time::Duration> {
+    let left = deadline.saturating_duration_since(crate::clock::monotonic_now());
+    if left.is_zero() {
+        return None;
+    }
+    Some(left)
+}
+
 /// A running in-process cluster.
 ///
 /// # Examples
@@ -144,10 +160,22 @@ impl InprocCluster {
 
     /// A status snapshot of `id` (blocks briefly).
     pub fn status(&self, id: ServerId) -> Option<NodeStatus> {
+        let deadline = crate::clock::monotonic_now() + MAX_REPLY_WAIT;
+        self.status_before(id, deadline)
+    }
+
+    /// [`InprocCluster::status`] with the wait clamped to `deadline`: a
+    /// wedged node thread (e.g. mid-apply) costs the caller at most its
+    /// own remaining budget, never the full default wait.
+    fn status_before(
+        &self,
+        id: ServerId,
+        deadline: std::time::Instant,
+    ) -> Option<NodeStatus> {
         let inbox = self.board.lookup(id)?;
         let (tx, rx) = bounded(1);
         inbox.send(NodeInput::Query { reply: tx }).ok()?;
-        rx.recv_timeout(std::time::Duration::from_secs(1)).ok()
+        rx.recv_timeout(remaining_until(deadline)?.min(MAX_REPLY_WAIT)).ok()
     }
 
     /// Polls until some node reports itself leader, up to `timeout`.
@@ -177,12 +205,15 @@ impl InprocCluster {
         command: Bytes,
         timeout: std::time::Duration,
     ) -> Result<(LogIndex, Bytes), ClientError> {
+        // Every wait below is clamped to the remaining deadline (this
+        // used to hard-code 1 s waits, overshooting a short caller
+        // timeout by up to a full second when a node thread stalled).
         let deadline = crate::clock::monotonic_now() + timeout;
         loop {
             if crate::clock::monotonic_now() >= deadline {
                 return Err(ClientError::Timeout);
             }
-            let Some(leader) = self.find_leader() else {
+            let Some(leader) = self.find_leader_before(deadline) else {
                 std::thread::sleep(std::time::Duration::from_millis(20));
                 continue;
             };
@@ -199,7 +230,10 @@ impl InprocCluster {
             {
                 continue;
             }
-            match rx.recv_timeout(std::time::Duration::from_secs(1)) {
+            let Some(wait) = remaining_until(deadline) else {
+                return Err(ClientError::Timeout);
+            };
+            match rx.recv_timeout(wait.min(MAX_REPLY_WAIT)) {
                 Ok(Ok(index)) => {
                     // Wait for application.
                     let (atx, arx) = bounded(1);
@@ -207,8 +241,10 @@ impl InprocCluster {
                         index,
                         reply: atx,
                     });
-                    let remaining = deadline.saturating_duration_since(crate::clock::monotonic_now());
-                    match arx.recv_timeout(remaining.max(std::time::Duration::from_millis(1))) {
+                    let Some(wait) = remaining_until(deadline) else {
+                        return Err(ClientError::Timeout);
+                    };
+                    match arx.recv_timeout(wait) {
                         Ok(result) => return Ok((index, result)),
                         Err(_) => return Err(ClientError::Timeout),
                     }
@@ -222,10 +258,10 @@ impl InprocCluster {
         }
     }
 
-    fn find_leader(&self) -> Option<ServerId> {
+    fn find_leader_before(&self, deadline: std::time::Instant) -> Option<ServerId> {
         self.ids
             .iter()
-            .filter_map(|id| self.status(*id))
+            .filter_map(|id| self.status_before(*id, deadline))
             .find(|s| s.role == Role::Leader)
             .map(|s| s.id)
     }
@@ -285,6 +321,57 @@ mod tests {
             )
             .expect("commit");
         assert!(index.get() >= 1);
+        cluster.shutdown();
+    }
+
+    /// Regression: `propose_and_wait` used to hard-code 1 s internal
+    /// waits, so a 200 ms caller timeout could cost over a second when a
+    /// node thread stalled (here: wedged inside a slow `apply`). Every
+    /// wait is now clamped to the caller's remaining deadline.
+    #[test]
+    fn propose_and_wait_respects_short_timeouts_when_a_node_wedges() {
+        /// Applies sleep long enough to wedge the single node thread
+        /// across the whole short-timeout call below.
+        #[derive(Debug)]
+        struct SlowApply;
+        impl escape_core::statemachine::StateMachine for SlowApply {
+            fn apply(&mut self, _index: LogIndex, _command: &Bytes) -> Bytes {
+                std::thread::sleep(std::time::Duration::from_millis(1500));
+                Bytes::new()
+            }
+        }
+
+        let cluster =
+            InprocCluster::spawn_with(1, ProtocolSpec::raft_local(), 3, |_| Box::new(SlowApply));
+        let leader = cluster
+            .wait_for_leader(std::time::Duration::from_secs(5))
+            .expect("single node elects itself");
+
+        // Wedge the node thread: a single-node cluster commits and
+        // applies inline while handling the proposal, so its loop sleeps
+        // inside `apply` and answers nothing for ~1.5 s.
+        let inbox = cluster.board.lookup(leader).expect("leader inbox");
+        let (tx, _rx) = bounded(1);
+        inbox
+            .send(NodeInput::Propose {
+                command: Bytes::from_static(b"wedge"),
+                reply: tx,
+            })
+            .expect("enqueue wedge");
+        std::thread::sleep(std::time::Duration::from_millis(100));
+
+        let start = crate::clock::monotonic_now();
+        let result = cluster.propose_and_wait(
+            Bytes::from_static(b"short-deadline"),
+            std::time::Duration::from_millis(200),
+        );
+        let elapsed = start.elapsed();
+        assert_eq!(result, Err(ClientError::Timeout));
+        assert!(
+            elapsed < std::time::Duration::from_millis(700),
+            "200 ms timeout overshot to {elapsed:?} — internal waits not \
+             clamped to the caller's deadline"
+        );
         cluster.shutdown();
     }
 

@@ -33,11 +33,15 @@
 pub mod clock;
 pub mod inproc;
 pub mod runtime;
+pub mod service;
 pub mod spec;
 pub mod tcp;
 
 pub use clock::RuntimeClock;
 pub use inproc::{ClientError, InprocCluster};
 pub use runtime::{NodeInput, NodeStatus, Outbound};
+pub use service::{ClientRouter, ClientService, RouteVerdict};
 pub use spec::ProtocolSpec;
-pub use tcp::{loopback_listeners, GroupOutbound, GroupRoutes, TcpMesh, TcpNode};
+pub use tcp::{
+    loopback_listeners, GroupOutbound, GroupRoutes, SpawnOptions, StorageHook, TcpMesh, TcpNode,
+};

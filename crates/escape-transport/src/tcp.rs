@@ -49,13 +49,15 @@ use parking_lot::Mutex;
 use escape_core::engine::Node;
 use escape_core::message::Message;
 use escape_core::statemachine::StateMachine;
+use escape_core::storage::Storage;
 use escape_core::types::{GroupId, ServerId};
 use escape_obs::{Counter, Event, Gauge, Labels, Observer, Registry};
 use escape_storage::{WalInstruments, WalStorage};
-use escape_wire::{write_frame, Decode, Encode, Envelope, FrameReader};
+use escape_wire::{write_frame, Decode, Encode, Envelope, FrameReader, WireShardMap, CLIENT_HELLO};
 
 use crate::clock::RuntimeClock;
 use crate::runtime::{node_loop, NodeInput, Outbound};
+use crate::service::{ClientRouter, ClientService, RouteVerdict};
 use crate::spec::ProtocolSpec;
 
 /// How long one connect attempt may block.
@@ -174,7 +176,11 @@ impl PeerLink {
         self.dropped += 1;
         if let Some(obs) = &self.obs {
             obs.dropped_total.inc();
-            if let Some(ppm) = self.dropped.saturating_mul(1_000_000).checked_div(self.enqueued) {
+            if let Some(ppm) = self
+                .dropped
+                .saturating_mul(1_000_000)
+                .checked_div(self.enqueued)
+            {
                 obs.drop_ppm.set(ppm);
             }
             obs.emit(Event::FrameDropped { peer: obs.peer });
@@ -440,10 +446,7 @@ impl TcpMesh {
             // healthy peer's leftovers.
             for (_, link) in self.peers.values() {
                 let mut link = link.lock();
-                if !link.pending.is_empty()
-                    && link.stream.is_some()
-                    && link.try_flush().is_err()
-                {
+                if !link.pending.is_empty() && link.stream.is_some() && link.try_flush().is_err() {
                     link.mark_broken(crate::clock::monotonic_now());
                 }
             }
@@ -596,13 +599,17 @@ impl GroupRoutes {
 
 /// Spawns the accept loop for `listener`: every inbound connection gets a
 /// reader thread that parses envelopes and routes them through `routes`.
-/// The loop checks `stop` after each accept; wake it with a throwaway
-/// connection (see [`TcpNode::shutdown`]) to make it exit.
+/// When `service` is set, a connection whose **first** frame is the
+/// client hello is handed to it instead (see
+/// [`ClientService`]); without a service, hello'd connections are
+/// dropped. The loop checks `stop` after each accept; wake it with a
+/// throwaway connection (see [`TcpNode::shutdown`]) to make it exit.
 pub fn spawn_acceptor(
     id: ServerId,
     listener: TcpListener,
     routes: GroupRoutes,
     stop: Arc<AtomicBool>,
+    service: Option<ClientService>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("escape-tcp-accept-{}", id.get()))
@@ -614,13 +621,82 @@ pub fn spawn_acceptor(
                 let Ok(stream) = stream else { break };
                 stream.set_nodelay(true).ok();
                 let routes = routes.clone();
+                let service = service.clone();
                 // Reader threads exit when the peer disconnects or every
                 // routed inbox closes.
-                std::thread::spawn(move || read_loop(stream, routes));
+                std::thread::spawn(move || read_loop(stream, routes, service));
             }
         })
         // lint:allow(panic): thread-spawn failure at startup is fatal by design
         .expect("spawn acceptor")
+}
+
+/// Wraps a group's freshly opened WAL in a different [`Storage`] before
+/// the engine takes ownership. This is the hook that lets
+/// `escape-storage`'s `FaultyStorage` (lying fsyncs, transient I/O
+/// errors, disk-full) run under the **real TCP stack**, not just the
+/// deterministic simulator: the campaign harness wraps each node's WAL
+/// and the node never knows.
+///
+/// Called once per hosted group, after recovery — the recovered state the
+/// engine boots from came off the raw WAL; the wrapper sees only the
+/// writes that follow.
+pub type StorageHook = Arc<dyn Fn(ServerId, GroupId, WalStorage) -> Box<dyn Storage> + Send + Sync>;
+
+/// Optional plumbing for [`TcpNode::spawn_with`] (and `escape-shard`'s
+/// sharded equivalent): observability, storage fault injection, and
+/// client serving. `Default` is a plain node — exactly what
+/// [`TcpNode::spawn`] builds.
+#[derive(Clone, Default)]
+pub struct SpawnOptions {
+    /// Observability bundle; see [`TcpNode::spawn_observed`].
+    pub obs: Option<NodeObs>,
+    /// Wraps each hosted group's WAL before the engine takes it.
+    pub storage_hook: Option<StorageHook>,
+    /// Answer `escape-wire` client connections (hello-framed) on the same
+    /// listener the peer mesh uses.
+    pub serve_clients: bool,
+}
+
+impl std::fmt::Debug for SpawnOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpawnOptions")
+            .field("obs", &self.obs)
+            .field(
+                "storage_hook",
+                &self.storage_hook.as_ref().map(|_| "<hook>"),
+            )
+            .field("serve_clients", &self.serve_clients)
+            .finish()
+    }
+}
+
+/// The trivial router of a single-group node: everything lives in group
+/// zero, so any other group id just redirects there.
+#[derive(Debug)]
+struct SingleGroupRouter {
+    inbox: Sender<NodeInput>,
+}
+
+impl ClientRouter for SingleGroupRouter {
+    fn route(&self, group: GroupId, _key: &[u8]) -> RouteVerdict {
+        if group == GroupId::ZERO {
+            RouteVerdict::Local(self.inbox.clone())
+        } else {
+            RouteVerdict::Redirect {
+                asked: group,
+                owner: GroupId::ZERO,
+                map_version: 1,
+            }
+        }
+    }
+
+    fn map_snapshot(&self) -> WireShardMap {
+        WireShardMap {
+            version: 1,
+            ranges: vec![(0, GroupId::ZERO)],
+        }
+    }
 }
 
 /// One TCP consensus node: its acceptor, reader threads, and node loop,
@@ -657,7 +733,16 @@ impl TcpNode {
         state_machine: Box<dyn StateMachine>,
         data_dir: Option<&Path>,
     ) -> Self {
-        Self::spawn_inner(id, listener, addrs, spec, seed, state_machine, data_dir, None)
+        Self::spawn_with(
+            id,
+            listener,
+            addrs,
+            spec,
+            seed,
+            state_machine,
+            data_dir,
+            SpawnOptions::default(),
+        )
     }
 
     /// [`TcpNode::spawn`] with observability wired through every layer:
@@ -680,7 +765,7 @@ impl TcpNode {
         data_dir: Option<&Path>,
         obs: NodeObs,
     ) -> Self {
-        Self::spawn_inner(
+        Self::spawn_with(
             id,
             listener,
             addrs,
@@ -688,12 +773,22 @@ impl TcpNode {
             seed,
             state_machine,
             data_dir,
-            Some(obs),
+            SpawnOptions {
+                obs: Some(obs),
+                ..SpawnOptions::default()
+            },
         )
     }
 
-    #[allow(clippy::too_many_arguments)] // internal fan-in for the two spawn surfaces
-    fn spawn_inner(
+    /// The fully general spawn: [`TcpNode::spawn`] plus whatever
+    /// [`SpawnOptions`] enables — observability, a [`StorageHook`] for
+    /// fault injection, and/or client serving on the peer listener.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`TcpNode::spawn`].
+    #[allow(clippy::too_many_arguments)] // spawn's documented surface + the options bundle
+    pub fn spawn_with(
         id: ServerId,
         listener: TcpListener,
         addrs: HashMap<ServerId, SocketAddr>,
@@ -701,8 +796,13 @@ impl TcpNode {
         seed: u64,
         state_machine: Box<dyn StateMachine>,
         data_dir: Option<&Path>,
-        obs: Option<NodeObs>,
+        options: SpawnOptions,
     ) -> Self {
+        let SpawnOptions {
+            obs,
+            storage_hook,
+            serve_clients,
+        } = options;
         // lint:allow(panic): documented `# Panics` contract — the map must contain `id`
         let my_addr = *addrs.get(&id).expect("own address present");
         let ids: Vec<ServerId> = {
@@ -716,12 +816,15 @@ impl TcpNode {
         let routes = GroupRoutes::new();
         routes.register(GroupId::ZERO, tx.clone());
         let stop_accepting = Arc::new(AtomicBool::new(false));
+        let service = serve_clients
+            .then(|| ClientService::new(Arc::new(SingleGroupRouter { inbox: tx.clone() })));
         let mut threads = Vec::new();
         threads.push(spawn_acceptor(
             id,
             listener,
             routes,
             stop_accepting.clone(),
+            service,
         ));
 
         let mut builder = Node::builder(id, ids)
@@ -738,7 +841,11 @@ impl TcpNode {
             if let Some(obs) = &obs {
                 storage.instrument(WalInstruments::register(&obs.registry, &obs.labels));
             }
-            builder = builder.storage(Box::new(storage)).recover(recovered);
+            let boxed: Box<dyn Storage> = match &storage_hook {
+                Some(hook) => hook(id, GroupId::ZERO, storage),
+                None => Box::new(storage),
+            };
+            builder = builder.storage(boxed).recover(recovered);
         }
         let node = builder.build();
         let mesh = match obs {
@@ -870,9 +977,10 @@ impl TcpNode {
     }
 }
 
-fn read_loop(mut stream: TcpStream, routes: GroupRoutes) {
+fn read_loop(mut stream: TcpStream, routes: GroupRoutes, service: Option<ClientService>) {
     let mut reader = FrameReader::new();
     let mut chunk = [0u8; 16 * 1024];
+    let mut first_frame = true;
     loop {
         let n = match stream.read(&mut chunk) {
             Ok(0) | Err(_) => return,
@@ -882,36 +990,47 @@ fn read_loop(mut stream: TcpStream, routes: GroupRoutes) {
         reader.extend(&chunk[..n]);
         loop {
             match reader.next_frame() {
-                Ok(Some(mut frame)) => match Envelope::decode(&mut frame) {
-                    Ok(envelope) => {
-                        // A group nobody registered is a misrouted or
-                        // early message: network loss to the protocol.
-                        if let Some(inbox) = routes.lookup(envelope.group) {
-                            if inbox
-                                .send(NodeInput::Peer(envelope.from, envelope.message))
-                                .is_err()
-                            {
-                                // That group's engine is gone. Unregister
-                                // it so the connection (which carries the
-                                // *other* groups' traffic too) survives.
-                                routes.unregister(envelope.group);
+                Ok(Some(mut frame)) => {
+                    if std::mem::take(&mut first_frame) && frame.as_ref() == CLIENT_HELLO {
+                        // A client, not a peer: hand the connection (and
+                        // any bytes already buffered behind the hello)
+                        // to the service. Without one, drop it.
+                        if let Some(service) = service {
+                            service.serve(stream, reader);
+                        }
+                        return;
+                    }
+                    match Envelope::decode(&mut frame) {
+                        Ok(envelope) => {
+                            // A group nobody registered is a misrouted or
+                            // early message: network loss to the protocol.
+                            if let Some(inbox) = routes.lookup(envelope.group) {
+                                if inbox
+                                    .send(NodeInput::Peer(envelope.from, envelope.message))
+                                    .is_err()
+                                {
+                                    // That group's engine is gone. Unregister
+                                    // it so the connection (which carries the
+                                    // *other* groups' traffic too) survives.
+                                    routes.unregister(envelope.group);
+                                }
+                            }
+                            // Once no group is registered at all, the whole
+                            // node is gone: drop the connection so the peer's
+                            // writes fail and it reconnects to whatever
+                            // process owns the listener now. Checked on every
+                            // envelope (not just the send-error path), so
+                            // *every* reader connection sharing these routes
+                            // notices the shutdown — a socket kept alive here
+                            // would silently eat a restarted node's traffic
+                            // forever.
+                            if routes.is_empty() {
+                                return;
                             }
                         }
-                        // Once no group is registered at all, the whole
-                        // node is gone: drop the connection so the peer's
-                        // writes fail and it reconnects to whatever
-                        // process owns the listener now. Checked on every
-                        // envelope (not just the send-error path), so
-                        // *every* reader connection sharing these routes
-                        // notices the shutdown — a socket kept alive here
-                        // would silently eat a restarted node's traffic
-                        // forever.
-                        if routes.is_empty() {
-                            return;
-                        }
+                        Err(_) => return, // corrupt stream: drop the connection
                     }
-                    Err(_) => return, // corrupt stream: drop the connection
-                },
+                }
                 Ok(None) => break,
                 Err(_) => return,
             }
@@ -930,7 +1049,10 @@ fn read_loop(mut stream: TcpStream, routes: GroupRoutes) {
 /// reserved across a node kill/restart cycle.
 pub fn loopback_listeners(
     n: usize,
-) -> (HashMap<ServerId, SocketAddr>, HashMap<ServerId, TcpListener>) {
+) -> (
+    HashMap<ServerId, SocketAddr>,
+    HashMap<ServerId, TcpListener>,
+) {
     let mut addrs = HashMap::new();
     let mut listeners = HashMap::new();
     for i in 1..=n as u32 {
@@ -993,7 +1115,10 @@ mod tests {
     fn wait_for_leader(nodes: &[TcpNode], timeout: Duration) -> usize {
         let deadline = crate::clock::monotonic_now() + timeout;
         loop {
-            assert!(crate::clock::monotonic_now() < deadline, "no TCP leader within {timeout:?}");
+            assert!(
+                crate::clock::monotonic_now() < deadline,
+                "no TCP leader within {timeout:?}"
+            );
             if let Some(i) = nodes
                 .iter()
                 .position(|n| status_of(n).is_some_and(|s| s.role == Role::Leader))
@@ -1020,7 +1145,8 @@ mod tests {
         node.inbox()
             .send(NodeInput::AwaitApplied { index, reply: atx })
             .unwrap();
-        arx.recv_timeout(Duration::from_secs(5)).expect("applied over TCP");
+        arx.recv_timeout(Duration::from_secs(5))
+            .expect("applied over TCP");
         index
     }
 
@@ -1155,7 +1281,11 @@ mod tests {
         for (i, envelope) in got.iter().enumerate() {
             assert_eq!(envelope.from, ServerId::new(1));
             assert_eq!(envelope.group, GroupId::new(7));
-            assert_eq!(envelope.message, msg(i as u64 + 1), "frames must flush in order");
+            assert_eq!(
+                envelope.message,
+                msg(i as u64 + 1),
+                "frames must flush in order"
+            );
         }
         assert_eq!(mesh.pending_bytes(peer), 0);
         mesh.stop();
@@ -1278,7 +1408,14 @@ mod tests {
         let (addrs, listeners) = loopback_listeners(3);
         let dirs: Vec<PathBuf> = (1..=3).map(|i| scratch_dir(&format!("kill-{i}"))).collect();
         let mut nodes: Vec<Option<TcpNode>> = (1..=3u32)
-            .map(|i| Some(spawn_node(i, &addrs, &listeners, Some(&dirs[(i - 1) as usize]))))
+            .map(|i| {
+                Some(spawn_node(
+                    i,
+                    &addrs,
+                    &listeners,
+                    Some(&dirs[(i - 1) as usize]),
+                ))
+            })
             .collect();
         let all = |nodes: &Vec<Option<TcpNode>>| -> Vec<NodeStatus> {
             nodes
@@ -1290,7 +1427,10 @@ mod tests {
         let leader = {
             let deadline = crate::clock::monotonic_now() + Duration::from_secs(10);
             loop {
-                assert!(crate::clock::monotonic_now() < deadline, "no leader within 10s");
+                assert!(
+                    crate::clock::monotonic_now() < deadline,
+                    "no leader within 10s"
+                );
                 if let Some(i) = all(&nodes).iter().position(|s| s.role == Role::Leader) {
                     break i;
                 }
@@ -1332,7 +1472,10 @@ mod tests {
         // The cluster (restarted node included) elects and recommits.
         let deadline = crate::clock::monotonic_now() + Duration::from_secs(15);
         let new_leader = loop {
-            assert!(crate::clock::monotonic_now() < deadline, "no post-restart leader");
+            assert!(
+                crate::clock::monotonic_now() < deadline,
+                "no post-restart leader"
+            );
             if let Some(i) = all(&nodes).iter().position(|s| s.role == Role::Leader) {
                 break i;
             }
@@ -1366,13 +1509,23 @@ mod tests {
         let (addrs, listeners) = loopback_listeners(3);
         let dirs: Vec<PathBuf> = (1..=3).map(|i| scratch_dir(&format!("wipe-{i}"))).collect();
         let mut nodes: Vec<Option<TcpNode>> = (1..=3u32)
-            .map(|i| Some(spawn_node(i, &addrs, &listeners, Some(&dirs[(i - 1) as usize]))))
+            .map(|i| {
+                Some(spawn_node(
+                    i,
+                    &addrs,
+                    &listeners,
+                    Some(&dirs[(i - 1) as usize]),
+                ))
+            })
             .collect();
 
         let leader = {
             let deadline = crate::clock::monotonic_now() + Duration::from_secs(10);
             loop {
-                assert!(crate::clock::monotonic_now() < deadline, "no leader within 10s");
+                assert!(
+                    crate::clock::monotonic_now() < deadline,
+                    "no leader within 10s"
+                );
                 let statuses: Vec<NodeStatus> = nodes
                     .iter()
                     .map(|n| status_of(n.as_ref().unwrap()).expect("status"))
@@ -1424,6 +1577,82 @@ mod tests {
 
         for node in nodes.into_iter().flatten() {
             node.shutdown();
+        }
+    }
+
+    /// The storage-hook satellite: `FaultyStorage` (previously confined
+    /// to the in-process campaign harness) now wraps the WAL on the real
+    /// TCP stack. A cluster whose every persist op has a transient-IO
+    /// fault rate must still elect and commit — and the per-node
+    /// [`escape_storage::FaultStats`] prove the faults actually fired in
+    /// the TCP path rather than being bypassed.
+    #[test]
+    fn tcp_cluster_commits_through_transient_storage_faults() {
+        use escape_storage::{FaultSpec, FaultStats, FaultyStorage};
+
+        let (addrs, listeners) = loopback_listeners(3);
+        let dirs: Vec<PathBuf> = (1..=3u32)
+            .map(|i| scratch_dir(&format!("faulty-{i}")))
+            .collect();
+        let stats: Arc<Mutex<HashMap<ServerId, Arc<FaultStats>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let hook_stats = Arc::clone(&stats);
+        let hook: StorageHook = Arc::new(move |server, _group, inner| {
+            let faulty = FaultyStorage::new(
+                inner,
+                FaultSpec {
+                    transient_io_p: 0.2,
+                    ..FaultSpec::none()
+                },
+                escape_core::rand::Xoshiro256::seed_from(0xFA17 + server.get() as u64),
+                Arc::new(escape_obs::NullObserver),
+                Arc::new(AtomicU64::new(0)),
+            );
+            hook_stats.lock().insert(server, faulty.stats());
+            Box::new(faulty)
+        });
+
+        let nodes: Vec<TcpNode> = (1..=3u32)
+            .map(|i| {
+                let id = ServerId::new(i);
+                TcpNode::spawn_with(
+                    id,
+                    listeners[&id].try_clone().expect("clone listener"),
+                    addrs.clone(),
+                    ProtocolSpec::escape_local(),
+                    99,
+                    Box::new(escape_core::statemachine::NullStateMachine),
+                    Some(&dirs[(i - 1) as usize]),
+                    SpawnOptions {
+                        storage_hook: Some(Arc::clone(&hook)),
+                        ..SpawnOptions::default()
+                    },
+                )
+            })
+            .collect();
+
+        let leader_index = wait_for_leader(&nodes, Duration::from_secs(15));
+        for i in 0..10u32 {
+            let command: &'static [u8] =
+                Box::leak(format!("faulty-{i}").into_bytes().into_boxed_slice());
+            propose_and_apply(&nodes[leader_index], command);
+        }
+
+        let stats = stats.lock();
+        assert_eq!(stats.len(), 3, "the hook must wrap every node's WAL");
+        let injected: u64 = stats.values().map(|s| s.transient_errors()).sum();
+        assert!(
+            injected > 0,
+            "with p=0.2 across 3 nodes and 10 commits, at least one \
+             transient fault must have hit the TCP persist path"
+        );
+
+        drop(stats);
+        for node in nodes {
+            node.shutdown();
+        }
+        for dir in dirs {
+            let _ = std::fs::remove_dir_all(dir);
         }
     }
 }

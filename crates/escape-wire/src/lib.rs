@@ -27,12 +27,16 @@
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
+pub mod client;
 pub mod codec;
 pub mod error;
 pub mod frame;
 pub mod record;
 pub mod varint;
 
+pub use client::{
+    ClientRequest, ClientResponse, RequestBody, ResponseBody, WireShardMap, CLIENT_HELLO,
+};
 pub use codec::{Decode, Encode, Envelope};
 pub use error::WireError;
 pub use frame::{write_frame, FrameReader};
